@@ -1,0 +1,170 @@
+//! The catchment map: block → anycast site.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+use vp_bgp::SiteId;
+use vp_hitlist::Hitlist;
+use vp_net::Block24;
+
+use crate::cleaning::CleanReply;
+
+/// The product of one Verfploeter measurement: for every responding block,
+/// the anycast site its reply arrived at.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CatchmentMap {
+    /// Dataset tag, e.g. "SBV-5-15".
+    pub name: String,
+    map: HashMap<Block24, SiteId>,
+}
+
+impl CatchmentMap {
+    /// Folds cleaned replies into the map. Cleaning guarantees one reply
+    /// per hitlist index, hence one entry per block.
+    pub fn from_replies(name: &str, replies: &[CleanReply], hitlist: &Hitlist) -> CatchmentMap {
+        let mut map = HashMap::with_capacity(replies.len());
+        for r in replies {
+            let block = hitlist.entry(r.index as usize).block;
+            map.insert(block, r.site);
+        }
+        CatchmentMap {
+            name: name.to_owned(),
+            map,
+        }
+    }
+
+    /// Builds a map directly from `(block, site)` pairs (used by analyses
+    /// and tests).
+    pub fn from_pairs(name: &str, pairs: impl IntoIterator<Item = (Block24, SiteId)>) -> Self {
+        CatchmentMap {
+            name: name.to_owned(),
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Number of mapped blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The site a block maps to, if it responded.
+    pub fn site_of(&self, block: Block24) -> Option<SiteId> {
+        self.map.get(&block).copied()
+    }
+
+    /// Iterates all `(block, site)` entries (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (Block24, SiteId)> + '_ {
+        self.map.iter().map(|(b, s)| (*b, *s))
+    }
+
+    /// Mapped blocks per site.
+    pub fn site_counts(&self) -> BTreeMap<SiteId, usize> {
+        let mut m = BTreeMap::new();
+        for s in self.map.values() {
+            *m.entry(*s).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Fraction of mapped blocks that map to `site`.
+    pub fn fraction_to(&self, site: SiteId) -> f64 {
+        if self.map.is_empty() {
+            return 0.0;
+        }
+        let hits = self.map.values().filter(|&&s| s == site).count();
+        hits as f64 / self.map.len() as f64
+    }
+
+    /// Serializes the dataset to JSON (the paper releases all its
+    /// datasets; this is the equivalent open-data format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("catchment map serializes")
+    }
+
+    /// Reloads a dataset written by [`CatchmentMap::to_json`].
+    pub fn from_json(s: &str) -> Result<CatchmentMap, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Blocks that changed site (or appeared/disappeared) between two maps:
+    /// returns `(flipped, appeared, disappeared)` counts.
+    pub fn diff(&self, other: &CatchmentMap) -> (usize, usize, usize) {
+        let mut flipped = 0;
+        let mut disappeared = 0;
+        for (b, s) in &self.map {
+            match other.map.get(b) {
+                Some(t) if t != s => flipped += 1,
+                Some(_) => {}
+                None => disappeared += 1,
+            }
+        }
+        let appeared = other
+            .map
+            .keys()
+            .filter(|b| !self.map.contains_key(*b))
+            .count();
+        (flipped, appeared, disappeared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(name: &str, pairs: &[(u32, u8)]) -> CatchmentMap {
+        CatchmentMap::from_pairs(
+            name,
+            pairs.iter().map(|&(b, s)| (Block24(b), SiteId(s))),
+        )
+    }
+
+    #[test]
+    fn counts_and_fractions() {
+        let m = map("t", &[(1, 0), (2, 0), (3, 1), (4, 0)]);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.site_of(Block24(3)), Some(SiteId(1)));
+        assert_eq!(m.site_of(Block24(9)), None);
+        let counts = m.site_counts();
+        assert_eq!(counts[&SiteId(0)], 3);
+        assert_eq!(counts[&SiteId(1)], 1);
+        assert!((m.fraction_to(SiteId(0)) - 0.75).abs() < 1e-12);
+        assert_eq!(m.fraction_to(SiteId(2)), 0.0);
+    }
+
+    #[test]
+    fn empty_map() {
+        let m = CatchmentMap::default();
+        assert!(m.is_empty());
+        assert_eq!(m.fraction_to(SiteId(0)), 0.0);
+        assert!(m.site_counts().is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_dataset() {
+        let m = map("SBV-5-15", &[(1, 0), (2, 1), (300000, 3)]);
+        let json = m.to_json();
+        let back = CatchmentMap::from_json(&json).unwrap();
+        assert_eq!(back.name, "SBV-5-15");
+        assert_eq!(back.len(), 3);
+        for (b, s) in m.iter() {
+            assert_eq!(back.site_of(b), Some(s));
+        }
+        assert!(CatchmentMap::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn diff_classifies_changes() {
+        let a = map("a", &[(1, 0), (2, 0), (3, 1)]);
+        let b = map("b", &[(1, 0), (2, 1), (4, 0)]);
+        let (flipped, appeared, disappeared) = a.diff(&b);
+        assert_eq!(flipped, 1); // block 2 changed site
+        assert_eq!(appeared, 1); // block 4 new
+        assert_eq!(disappeared, 1); // block 3 gone
+        // Diff with self is null.
+        assert_eq!(a.diff(&a), (0, 0, 0));
+    }
+}

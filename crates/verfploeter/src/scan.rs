@@ -1,0 +1,301 @@
+//! A full Verfploeter measurement: probe → capture → forward → clean → map.
+
+use std::collections::HashMap;
+
+use vp_bgp::Announcement;
+use vp_hitlist::Hitlist;
+use vp_net::{Block24, SimDuration, SimTime};
+use vp_sim::{CatchmentOracle, FaultConfig, NetworkSim};
+use vp_topology::Internet;
+
+use crate::catchment::CatchmentMap;
+use crate::cleaning::{clean, CleaningStats};
+use crate::collector::{forward_to_central, split_by_site};
+use crate::prober::{ProbeConfig, Prober};
+
+/// Configuration of one measurement round.
+#[derive(Debug, Clone)]
+pub struct ScanConfig {
+    /// Dataset tag, e.g. "SBV-5-15".
+    pub name: String,
+    /// Probing parameters (rate, round identifier, order seed).
+    pub probe: ProbeConfig,
+    /// Late-reply cutoff from measurement start (15 minutes in §4).
+    pub cutoff: SimDuration,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig {
+            name: "SBV".to_owned(),
+            probe: ProbeConfig::default(),
+            cutoff: SimDuration::from_mins(15),
+        }
+    }
+}
+
+/// The outcome of one measurement round.
+#[derive(Debug, Clone)]
+pub struct ScanResult {
+    pub catchments: CatchmentMap,
+    pub cleaning: CleaningStats,
+    /// Probes transmitted (one per hitlist entry).
+    pub probes_sent: u64,
+    /// When the round started / when the last probe left.
+    pub started: SimTime,
+    pub last_probe: SimTime,
+    /// Round-trip time per mapped block (probe transmission to reply
+    /// arrival at the capturing site). The paper's §7 notes these RTTs
+    /// "can be used to suggest where new anycast sites would be helpful".
+    pub rtts: HashMap<Block24, SimDuration>,
+    /// Simulator counters for the round.
+    pub sim_stats: vp_sim::SimStats,
+}
+
+impl ScanResult {
+    /// Blocks that were probed but produced no (usable) reply.
+    pub fn non_responding(&self, hitlist_len: usize) -> usize {
+        hitlist_len - self.catchments.len()
+    }
+
+    /// Response rate over the hitlist.
+    pub fn response_rate(&self, hitlist_len: usize) -> f64 {
+        self.catchments.len() as f64 / hitlist_len as f64
+    }
+}
+
+/// Runs one full Verfploeter measurement at `start` over a fresh simulator.
+///
+/// This is the paper's §3.1 pipeline end to end: probes are emitted from
+/// the measurement address in pseudorandom paced order, replies are
+/// captured concurrently at all sites, forwarded (tagged with their site)
+/// to the central point, cleaned per §4, and folded into a catchment map.
+pub fn run_scan(
+    world: &Internet,
+    hitlist: &Hitlist,
+    announcement: &Announcement,
+    oracle: Box<dyn CatchmentOracle>,
+    faults: FaultConfig,
+    start: SimTime,
+    config: &ScanConfig,
+    sim_seed: u64,
+) -> ScanResult {
+    let mut sim = NetworkSim::new(world, faults, sim_seed);
+    let svc = sim.register_service(announcement.clone(), oracle, false);
+    let source = announcement.measurement_addr();
+
+    let prober = Prober::new(config.probe.clone());
+    let probes = prober.schedule(hitlist, source, start);
+    let probes_sent = probes.len() as u64;
+    let last_probe = probes.last().map_or(start, |p| p.at);
+    let mut send_time = vec![SimTime::ZERO; hitlist.len()];
+    for p in probes {
+        send_time[p.index as usize] = p.at;
+        sim.send_at(p.at, p.packet);
+    }
+    sim.run();
+
+    let num_sites = announcement.sites.len();
+    let captures = sim.take_captures(svc);
+    let by_site = split_by_site(captures, num_sites);
+    let central = forward_to_central(by_site);
+    let (clean_replies, cleaning) = clean(&central, hitlist, config.probe.ident, start, config.cutoff);
+    let catchments = CatchmentMap::from_replies(&config.name, &clean_replies, hitlist);
+    let rtts = clean_replies
+        .iter()
+        .map(|r| {
+            let block = hitlist.entry(r.index as usize).block;
+            (block, r.at.since(send_time[r.index as usize]))
+        })
+        .collect();
+
+    ScanResult {
+        catchments,
+        cleaning,
+        probes_sent,
+        started: start,
+        last_probe,
+        rtts,
+        sim_stats: sim.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_hitlist::HitlistConfig;
+    use vp_sim::{Scenario, StaticOracle};
+    use vp_topology::TopologyConfig;
+
+    fn setup() -> (Scenario, Hitlist) {
+        let s = Scenario::broot(TopologyConfig::tiny(81), 7);
+        let hl = Hitlist::from_internet(
+            &s.world,
+            &HitlistConfig {
+                wrong_addr_prob: 0.0,
+                ..HitlistConfig::default()
+            },
+        );
+        (s, hl)
+    }
+
+    #[test]
+    fn clean_channel_maps_every_responsive_block_correctly() {
+        let (s, hl) = setup();
+        let table = s.routing();
+        let result = run_scan(
+            &s.world,
+            &hl,
+            &s.announcement,
+            Box::new(StaticOracle::new(table.clone())),
+            FaultConfig::none(),
+            SimTime::ZERO,
+            &ScanConfig::default(),
+            1,
+        );
+        let responsive = s.world.responsive_blocks().count();
+        assert_eq!(result.catchments.len(), responsive);
+        assert_eq!(result.probes_sent, hl.len() as u64);
+        assert!(result.cleaning.is_consistent());
+        // Ground truth check: every mapped block matches the routing table.
+        for (block, site) in result.catchments.iter() {
+            let info = s.world.block(block).unwrap();
+            assert_eq!(Some(site), table.site_of_pop(info.pop), "block {block}");
+        }
+    }
+
+    #[test]
+    fn response_rate_tracks_world_responsiveness() {
+        let (s, hl) = setup();
+        let result = run_scan(
+            &s.world,
+            &hl,
+            &s.announcement,
+            Box::new(StaticOracle::new(s.routing())),
+            FaultConfig::none(),
+            SimTime::ZERO,
+            &ScanConfig::default(),
+            1,
+        );
+        let rate = result.response_rate(hl.len());
+        let world_rate = s.world.responsive_blocks().count() as f64 / s.world.blocks.len() as f64;
+        assert!((rate - world_rate).abs() < 1e-9);
+        assert_eq!(
+            result.non_responding(hl.len()),
+            hl.len() - result.catchments.len()
+        );
+    }
+
+    #[test]
+    fn faults_are_cleaned_out() {
+        let (s, hl) = setup();
+        let faults = FaultConfig {
+            duplicate_prob: 0.3,
+            max_duplicates: 10,
+            alias_prob: 0.2,
+            late_prob: 0.05,
+            late_delay: SimDuration::from_mins(20),
+            unsolicited_prob: 0.05,
+            ..FaultConfig::none()
+        };
+        let table = s.routing();
+        let result = run_scan(
+            &s.world,
+            &hl,
+            &s.announcement,
+            Box::new(StaticOracle::new(table.clone())),
+            faults,
+            SimTime::ZERO,
+            &ScanConfig::default(),
+            2,
+        );
+        let st = result.cleaning;
+        assert!(st.is_consistent());
+        assert!(st.duplicates > 0, "no duplicates seen: {st:?}");
+        assert!(st.unprobed_source > 0, "no aliased replies seen: {st:?}");
+        assert!(st.late > 0, "no late replies seen: {st:?}");
+        // Despite the noise, all surviving mappings are correct.
+        for (block, site) in result.catchments.iter() {
+            let info = s.world.block(block).unwrap();
+            assert_eq!(Some(site), table.site_of_pop(info.pop));
+        }
+    }
+
+    #[test]
+    fn wrong_hitlist_targets_reduce_coverage() {
+        let (s, _) = setup();
+        let hl_bad = Hitlist::from_internet(
+            &s.world,
+            &HitlistConfig {
+                wrong_addr_prob: 0.5,
+                seed: 3,
+            },
+        );
+        let result = run_scan(
+            &s.world,
+            &hl_bad,
+            &s.announcement,
+            Box::new(StaticOracle::new(s.routing())),
+            FaultConfig::none(),
+            SimTime::ZERO,
+            &ScanConfig::default(),
+            1,
+        );
+        let responsive = s.world.responsive_blocks().count();
+        assert!(
+            result.catchments.len() < responsive * 3 / 4,
+            "wrong targets should cut coverage: {} vs {responsive}",
+            result.catchments.len()
+        );
+    }
+
+    #[test]
+    fn distinct_round_idents_separate_datasets() {
+        let (s, hl) = setup();
+        // Round 2's cleaning must reject replies carrying round 1's ident;
+        // here we just check the config plumbs through.
+        let cfg = ScanConfig {
+            probe: ProbeConfig {
+                ident: 42,
+                ..ProbeConfig::default()
+            },
+            ..ScanConfig::default()
+        };
+        let result = run_scan(
+            &s.world,
+            &hl,
+            &s.announcement,
+            Box::new(StaticOracle::new(s.routing())),
+            FaultConfig::none(),
+            SimTime::ZERO,
+            &cfg,
+            1,
+        );
+        assert!(result.cleaning.kept > 0);
+        assert_eq!(result.cleaning.foreign, 0);
+    }
+
+    #[test]
+    fn scan_is_deterministic() {
+        let (s, hl) = setup();
+        let run = || {
+            run_scan(
+                &s.world,
+                &hl,
+                &s.announcement,
+                Box::new(StaticOracle::new(s.routing())),
+                FaultConfig::default(),
+                SimTime::ZERO,
+                &ScanConfig::default(),
+                9,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cleaning, b.cleaning);
+        assert_eq!(a.catchments.len(), b.catchments.len());
+        for (block, site) in a.catchments.iter() {
+            assert_eq!(b.catchments.site_of(block), Some(site));
+        }
+    }
+}

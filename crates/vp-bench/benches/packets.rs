@@ -1,0 +1,61 @@
+//! Wire-format throughput: the prober emits and the collector parses
+//! millions of packets per measurement, so these paths matter.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vp_net::Ipv4Addr;
+use vp_packet::{DnsMessage, IcmpMessage, Ipv4Packet, Protocol, UdpDatagram};
+
+fn bench_icmp(c: &mut Criterion) {
+    let msg = IcmpMessage::echo_request(7, 1234, Bytes::from_static(b"VPLT\0\0\0\0\0\0\0\x2a"));
+    let wire = msg.emit();
+    let mut g = c.benchmark_group("icmp");
+    g.bench_function("emit", |b| b.iter(|| black_box(msg.emit())));
+    g.bench_function("parse", |b| {
+        b.iter(|| black_box(IcmpMessage::parse(&wire).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_ipv4(c: &mut Criterion) {
+    let icmp = IcmpMessage::echo_request(7, 1234, Bytes::from_static(b"VPLT\0\0\0\0\0\0\0\x2a"));
+    let pkt = Ipv4Packet::new(
+        Ipv4Addr::new(240, 0, 0, 1),
+        Ipv4Addr::new(10, 1, 2, 3),
+        Protocol::Icmp,
+        icmp.emit(),
+    );
+    let wire = pkt.emit();
+    let mut g = c.benchmark_group("ipv4");
+    g.bench_function("emit", |b| b.iter(|| black_box(pkt.emit())));
+    g.bench_function("parse", |b| {
+        b.iter(|| black_box(Ipv4Packet::parse(&wire).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_dns(c: &mut Criterion) {
+    let query = DnsMessage::hostname_bind_query(0xbeef, true);
+    let response = DnsMessage::hostname_bind_response(&query, "lax1a.b.root-servers.org");
+    let wire = response.emit();
+    let udp = UdpDatagram::new(33000, 53, query.emit());
+    let src = Ipv4Addr::new(10, 0, 0, 1);
+    let dst = Ipv4Addr::new(240, 0, 0, 1);
+    let udp_wire = udp.emit(src, dst);
+
+    let mut g = c.benchmark_group("dns");
+    g.bench_function("query_emit", |b| b.iter(|| black_box(query.emit())));
+    g.bench_function("response_parse", |b| {
+        b.iter(|| black_box(DnsMessage::parse(&wire).unwrap()))
+    });
+    g.bench_function("udp_emit_checksummed", |b| {
+        b.iter(|| black_box(udp.emit(src, dst)))
+    });
+    g.bench_function("udp_parse_checksummed", |b| {
+        b.iter(|| black_box(UdpDatagram::parse(&udp_wire, src, dst).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_icmp, bench_ipv4, bench_dns);
+criterion_main!(benches);

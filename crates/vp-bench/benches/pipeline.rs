@@ -1,0 +1,144 @@
+//! Measurement-pipeline throughput: full scans, cleaning, collection.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vp_bench::{bench_hitlist, bench_scenario};
+use vp_bgp::SiteId;
+use vp_net::{Ipv4Addr, SimDuration, SimTime};
+use vp_sim::{FaultConfig, StaticOracle};
+use verfploeter::collector::{forward_to_central, RawReply};
+use verfploeter::prober::{ProbeConfig, Prober};
+use verfploeter::scan::{run_scan, ScanConfig};
+use verfploeter::{clean, CatchmentMap};
+
+fn bench_full_scan(c: &mut Criterion) {
+    let s = bench_scenario(11);
+    let hl = bench_hitlist(&s);
+    let mut g = c.benchmark_group("scan");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(hl.len() as u64));
+    g.bench_function("full_round_15k_targets", |b| {
+        b.iter(|| {
+            let result = run_scan(
+                &s.world,
+                &hl,
+                &s.announcement,
+                Box::new(StaticOracle::new(s.routing())),
+                FaultConfig::default(),
+                SimTime::ZERO,
+                &ScanConfig::default(),
+                1,
+            );
+            black_box(result.catchments.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_probe_scheduling(c: &mut Criterion) {
+    let s = bench_scenario(12);
+    let hl = bench_hitlist(&s);
+    let prober = Prober::new(ProbeConfig::default());
+    let src = s.announcement.measurement_addr();
+    let mut g = c.benchmark_group("prober");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(hl.len() as u64));
+    g.bench_function("schedule_15k", |b| {
+        b.iter(|| black_box(prober.schedule(&hl, src, SimTime::ZERO).len()))
+    });
+    g.finish();
+}
+
+fn synthetic_replies(n: usize, hl: &vp_hitlist::Hitlist) -> Vec<RawReply> {
+    (0..n)
+        .map(|i| {
+            let idx = (i % hl.len()) as u64;
+            RawReply {
+                site: SiteId((i % 2) as u8),
+                at: SimTime(i as u64 * 1000),
+                src: hl.entry(idx as usize).target,
+                ident: 1,
+                index: Some(idx),
+            }
+        })
+        .collect()
+}
+
+fn bench_cleaning(c: &mut Criterion) {
+    let s = bench_scenario(13);
+    let hl = bench_hitlist(&s);
+    let replies = synthetic_replies(50_000, &hl);
+    let mut g = c.benchmark_group("cleaning");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(replies.len() as u64));
+    g.bench_function("clean_50k_replies", |b| {
+        b.iter(|| {
+            let (kept, stats) = clean(
+                &replies,
+                &hl,
+                1,
+                SimTime::ZERO,
+                SimDuration::from_mins(15),
+            );
+            black_box((kept.len(), stats.kept))
+        })
+    });
+    g.finish();
+}
+
+fn bench_collector(c: &mut Criterion) {
+    // Per-site capture logs -> threaded central forwarding.
+    let caps: Vec<Vec<vp_sim::SiteCapture>> = (0..4)
+        .map(|site| {
+            (0..10_000u32)
+                .map(|i| {
+                    let icmp = vp_packet::IcmpMessage::EchoReply {
+                        ident: 1,
+                        seq: i as u16,
+                        payload: Prober::encode_payload(i as u64),
+                    };
+                    vp_sim::SiteCapture {
+                        site: SiteId(site),
+                        at: SimTime(i as u64),
+                        packet: vp_packet::Ipv4Packet::new(
+                            Ipv4Addr(0x0a000000 + i),
+                            Ipv4Addr::new(240, 0, 0, 1),
+                            vp_packet::Protocol::Icmp,
+                            icmp.emit(),
+                        ),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut g = c.benchmark_group("collector");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(40_000));
+    g.bench_function("forward_40k_4sites", |b| {
+        b.iter(|| black_box(forward_to_central(caps.clone()).len()))
+    });
+    g.finish();
+}
+
+fn bench_catchment_fold(c: &mut Criterion) {
+    let s = bench_scenario(14);
+    let hl = bench_hitlist(&s);
+    let replies = synthetic_replies(hl.len(), &hl);
+    let (kept, _) = clean(&replies, &hl, 1, SimTime::ZERO, SimDuration::from_mins(15));
+    let mut g = c.benchmark_group("catchment");
+    g.sample_size(30);
+    g.throughput(Throughput::Elements(kept.len() as u64));
+    g.bench_function("fold_map", |b| {
+        b.iter(|| black_box(CatchmentMap::from_replies("bench", &kept, &hl).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_scan,
+    bench_probe_scheduling,
+    bench_cleaning,
+    bench_collector,
+    bench_catchment_fold
+);
+criterion_main!(benches);

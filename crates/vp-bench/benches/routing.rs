@@ -1,0 +1,71 @@
+//! BGP convergence cost: world generation and route computation, including
+//! the hot-potato and prepend-ignore ablations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vp_bgp::BgpSim;
+use vp_sim::Scenario;
+use vp_topology::{Internet, TopologyConfig};
+
+fn cfg(n: usize, blocks: usize, seed: u64) -> TopologyConfig {
+    TopologyConfig {
+        seed,
+        num_ases: n,
+        max_blocks: blocks,
+        ..TopologyConfig::default()
+    }
+}
+
+fn bench_world_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world_generation");
+    g.sample_size(10);
+    for (n, blocks) in [(500usize, 10_000usize), (2000, 50_000)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}as_{blocks}blk")),
+            &(n, blocks),
+            |b, &(n, blocks)| {
+                b.iter(|| black_box(Internet::generate(cfg(n, blocks, 3))));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_route_computation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bgp_route");
+    g.sample_size(20);
+    for n in [500usize, 2000, 6000] {
+        let scenario = Scenario::broot(cfg(n, 5_000, 4), 7);
+        g.bench_with_input(BenchmarkId::new("broot_2site", n), &n, |b, _| {
+            b.iter(|| black_box(scenario.routing()));
+        });
+    }
+    // Nine sites cost more propagation diversity than two.
+    let tangled = Scenario::tangled(cfg(2000, 5_000, 5), 7);
+    g.bench_function("tangled_9site_2000as", |b| {
+        b.iter(|| black_box(tangled.routing()));
+    });
+    g.finish();
+}
+
+fn bench_ignore_prepend_ablation(c: &mut Criterion) {
+    let scenario = Scenario::broot(cfg(2000, 5_000, 6), 7);
+    let mut g = c.benchmark_group("bgp_ablation");
+    g.sample_size(20);
+    g.bench_function("with_ignore_prepend", |b| {
+        let sim = BgpSim::new(&scenario.world.graph, 7);
+        b.iter(|| black_box(sim.route(&scenario.announcement)));
+    });
+    g.bench_function("without_ignore_prepend", |b| {
+        let sim = BgpSim::new(&scenario.world.graph, 7).with_ignore_prepend_fraction(0.0);
+        b.iter(|| black_box(sim.route(&scenario.announcement)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_world_generation,
+    bench_route_computation,
+    bench_ignore_prepend_ablation
+);
+criterion_main!(benches);

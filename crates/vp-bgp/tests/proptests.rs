@@ -1,0 +1,128 @@
+//! Property-based tests of the routing simulator over random worlds.
+
+use proptest::prelude::*;
+use vp_bgp::{Announcement, BgpSim, RouteLevel};
+use vp_topology::{pick_host_ases, Internet, TopologyConfig};
+
+fn world(seed: u64) -> Internet {
+    Internet::generate(TopologyConfig {
+        seed,
+        num_ases: 100,
+        num_tier1: 4,
+        max_blocks: 1500,
+        max_prefixes_per_as: 20,
+        max_blocks_per_prefix: 16,
+        ..TopologyConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every AS converges to exactly one route with consistent candidates.
+    #[test]
+    fn convergence_and_candidate_invariants(
+        world_seed in 0u64..10_000,
+        policy_seed in any::<u64>(),
+    ) {
+        let w = world(world_seed);
+        let ann = Announcement::from_placements(
+            &pick_host_ases(&w, &[("A", "US"), ("B", "DE"), ("C", "CN")]),
+            0,
+        );
+        let table = BgpSim::new(&w.graph, policy_seed).route(&ann);
+        for (i, r) in table.per_as.iter().enumerate() {
+            let r = r.as_ref().expect("every AS reaches the anycast prefix");
+            prop_assert!(r.strict_count >= 1);
+            prop_assert!(r.strict_count <= r.candidates.len());
+            prop_assert!(r.selected < r.candidates.len());
+            // Origins are self-candidates; everyone else names a neighbor.
+            match r.level {
+                RouteLevel::Origin => {
+                    prop_assert_eq!(r.candidates.len(), 1);
+                    prop_assert_eq!(r.candidates[0].neighbor.index(), i);
+                }
+                _ => {
+                    for c in &r.candidates {
+                        prop_assert!(c.neighbor.index() != i);
+                        prop_assert!(c.session_pop.is_some());
+                    }
+                }
+            }
+        }
+        // Per-PoP assignments use only sites of the owning AS's pool.
+        for (p, site) in table.per_pop_site.iter().enumerate() {
+            let site = site.expect("every pop assigned");
+            let asn = w.graph.pops[p].asn;
+            let r = table.per_as[asn.index()].as_ref().unwrap();
+            prop_assert!(
+                r.candidates.iter().any(|c| c.site == site),
+                "pop {p} got a site outside its AS's candidates"
+            );
+        }
+    }
+
+    /// Path lengths respect the triangle structure: a non-origin AS's
+    /// length is at least 1 and at most ASes-count hops.
+    #[test]
+    fn path_lengths_bounded(world_seed in 0u64..10_000) {
+        let w = world(world_seed);
+        let ann = Announcement::from_placements(
+            &pick_host_ases(&w, &[("A", "US"), ("B", "JP")]),
+            0,
+        );
+        let table = BgpSim::new(&w.graph, 1).route(&ann);
+        for r in table.per_as.iter().flatten() {
+            if r.level != RouteLevel::Origin {
+                prop_assert!(r.path_len >= 1);
+                prop_assert!((r.path_len as usize) < w.graph.len());
+            }
+        }
+    }
+
+    /// Withdrawing all but one site funnels every AS to the survivor,
+    /// regardless of the policy seed.
+    #[test]
+    fn single_site_captures_everything(
+        world_seed in 0u64..10_000,
+        policy_seed in any::<u64>(),
+    ) {
+        let w = world(world_seed);
+        let mut ann = Announcement::from_placements(
+            &pick_host_ases(&w, &[("A", "US"), ("B", "BR")]),
+            0,
+        );
+        ann.set_enabled("B", false);
+        let table = BgpSim::new(&w.graph, policy_seed).route(&ann);
+        let a = ann.site_by_name("A").unwrap().id;
+        for r in table.per_as.iter().flatten() {
+            prop_assert_eq!(r.selected_site(), a);
+        }
+    }
+
+    /// Aggregate catchment shrinks (weakly) as one site prepends more.
+    #[test]
+    fn prepending_weakly_monotone(world_seed in 0u64..2_000) {
+        let w = world(world_seed);
+        let placements = pick_host_ases(&w, &[("A", "US"), ("B", "GB")]);
+        let sim = BgpSim::new(&w.graph, 7).with_ignore_prepend_fraction(0.0);
+        let b_id = 1u8;
+        let mut prev = usize::MAX;
+        for prepend in 0..=3u8 {
+            let mut ann = Announcement::from_placements(&placements, 0);
+            ann.set_prepend("B", prepend);
+            let table = sim.route(&ann);
+            let count = table
+                .per_as
+                .iter()
+                .flatten()
+                .filter(|r| r.selected_site().0 == b_id)
+                .count();
+            prop_assert!(
+                count <= prev,
+                "prepend {prepend}: catchment grew {prev} -> {count}"
+            );
+            prev = count;
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig3 over the simulated world.
+//! Usage: fig3_tangled_maps [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+
+fn main() {
+    let lab = vp_experiments::Lab::from_args();
+    print!("{}", vp_experiments::experiments::fig3::run(&lab));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig4 over the simulated world.
+//! Usage: fig4_load_maps [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+
+fn main() {
+    let lab = vp_experiments::Lab::from_args();
+    print!("{}", vp_experiments::experiments::fig4::run(&lab));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig5 over the simulated world.
+//! Usage: fig5_prepending [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+
+fn main() {
+    let lab = vp_experiments::Lab::from_args();
+    print!("{}", vp_experiments::experiments::fig5::run(&lab));
+}

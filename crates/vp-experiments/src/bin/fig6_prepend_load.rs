@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig6 over the simulated world.
+//! Usage: fig6_prepend_load [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+
+fn main() {
+    let lab = vp_experiments::Lab::from_args();
+    print!("{}", vp_experiments::experiments::fig6::run(&lab));
+}

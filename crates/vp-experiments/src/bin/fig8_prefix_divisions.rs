@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig8 over the simulated world.
+//! Usage: fig8_prefix_divisions [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+
+fn main() {
+    let lab = vp_experiments::Lab::from_args();
+    print!("{}", vp_experiments::experiments::fig8::run(&lab));
+}

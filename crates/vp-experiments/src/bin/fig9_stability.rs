@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig9 over the simulated world.
+//! Usage: fig9_stability [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+
+fn main() {
+    let lab = vp_experiments::Lab::from_args();
+    print!("{}", vp_experiments::experiments::fig9::run(&lab));
+}

@@ -1,0 +1,14 @@
+//! Runs every table/figure regenerator in one process so expensive
+//! artifacts (worlds, scans, the 96-round stability dataset) are shared.
+//! Usage: run_all [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+
+fn main() {
+    let lab = vp_experiments::Lab::from_args();
+    for (name, run) in vp_experiments::experiments::all() {
+        println!("==================== {name} ====================");
+        let start = std::time::Instant::now();
+        print!("{}", run(&lab));
+        println!("[{name} completed in {:.1?}]", start.elapsed());
+        println!();
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's table1 over the simulated world.
+//! Usage: table1_datasets [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+
+fn main() {
+    let lab = vp_experiments::Lab::from_args();
+    print!("{}", vp_experiments::experiments::table1::run(&lab));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's table6 over the simulated world.
+//! Usage: table6_pct_lax [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+
+fn main() {
+    let lab = vp_experiments::Lab::from_args();
+    print!("{}", vp_experiments::experiments::table6::run(&lab));
+}

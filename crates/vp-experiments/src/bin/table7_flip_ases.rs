@@ -1,0 +1,7 @@
+//! Regenerates the paper's table7 over the simulated world.
+//! Usage: table7_flip_ases [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+
+fn main() {
+    let lab = vp_experiments::Lab::from_args();
+    print!("{}", vp_experiments::experiments::table7::run(&lab));
+}

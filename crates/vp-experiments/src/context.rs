@@ -1,0 +1,421 @@
+//! The shared experiment context: scales, seeds, caching, output.
+
+use std::cell::{OnceCell, RefCell};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use vp_atlas::{AtlasConfig, AtlasPanel, AtlasResult};
+use vp_bgp::Announcement;
+use vp_dns::{LoadModel, QueryLog};
+use vp_hitlist::{Hitlist, HitlistConfig};
+use vp_net::{SimDuration, SimTime};
+use vp_sim::{FaultConfig, FlippingOracle, Scenario, StaticOracle};
+use vp_topology::TopologyConfig;
+use verfploeter::catchment::CatchmentMap;
+use verfploeter::scan::{run_scan, ScanConfig, ScanResult};
+use verfploeter::ProbeConfig;
+
+/// World sizes. `Default` runs every experiment in minutes in release
+/// mode; `Tiny` is for tests; `Paper` pushes block counts toward the
+/// paper's scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Tiny,
+    Small,
+    Default,
+    Paper,
+}
+
+impl Scale {
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "default" => Some(Scale::Default),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    fn topology(self, seed: u64) -> TopologyConfig {
+        match self {
+            Scale::Tiny => TopologyConfig::tiny(seed),
+            Scale::Small => TopologyConfig {
+                seed,
+                num_ases: 1000,
+                max_blocks: 30_000,
+                ..TopologyConfig::default()
+            },
+            Scale::Default => TopologyConfig {
+                seed,
+                ..TopologyConfig::default()
+            },
+            Scale::Paper => TopologyConfig::paper_scale(seed),
+        }
+    }
+
+    /// Atlas panel sized proportionally to the world, preserving the
+    /// paper's VP-to-block ratio (9,807 VPs considered against 6.88M
+    /// probed blocks ≈ 1:700). A fixed panel against a smaller world would
+    /// flatten Table 4's headline coverage ratio.
+    fn atlas(self, seed: u64, world_blocks: usize) -> AtlasConfig {
+        let num_vps = (world_blocks / 700).clamp(60, 9807);
+        AtlasConfig {
+            num_vps,
+            unavailable_prob: 455.0 / 9807.0,
+            seed,
+        }
+    }
+
+    /// Stability-study rounds (the paper runs 96 over 24 hours).
+    pub fn stability_rounds(self) -> u32 {
+        match self {
+            Scale::Tiny => 12,
+            _ => 96,
+        }
+    }
+}
+
+const BROOT_TOPO_SEED: u64 = 0xB007;
+const TANGLED_TOPO_SEED: u64 = 0x7A9;
+const POLICY_SEED: u64 = 0x90;
+const FLIP_SEED: u64 = 0xF11;
+
+/// Lazily built, cached experiment artifacts.
+pub struct Lab {
+    pub scale: Scale,
+    pub out_dir: Option<PathBuf>,
+    broot: OnceCell<Scenario>,
+    tangled: OnceCell<Scenario>,
+    broot_hitlist: OnceCell<Hitlist>,
+    tangled_hitlist: OnceCell<Hitlist>,
+    atlas_broot: OnceCell<AtlasPanel>,
+    atlas_tangled: OnceCell<AtlasPanel>,
+    vp_scans: RefCell<HashMap<String, Rc<ScanResult>>>,
+    atlas_scans: RefCell<HashMap<String, Rc<AtlasResult>>>,
+    tangled_rounds: OnceCell<Rc<Vec<CatchmentMap>>>,
+}
+
+impl Lab {
+    pub fn new(scale: Scale) -> Lab {
+        Lab {
+            scale,
+            out_dir: None,
+            broot: OnceCell::new(),
+            tangled: OnceCell::new(),
+            broot_hitlist: OnceCell::new(),
+            tangled_hitlist: OnceCell::new(),
+            atlas_broot: OnceCell::new(),
+            atlas_tangled: OnceCell::new(),
+            vp_scans: RefCell::new(HashMap::new()),
+            atlas_scans: RefCell::new(HashMap::new()),
+            tangled_rounds: OnceCell::new(),
+        }
+    }
+
+    /// Builds a lab from process args: `--scale tiny|small|default|paper`
+    /// and `--out <dir>` for JSON artifacts.
+    pub fn from_args() -> Lab {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = Scale::Default;
+        let mut out = None;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    scale = args
+                        .get(i)
+                        .and_then(|s| Scale::parse(s))
+                        .unwrap_or_else(|| {
+                            eprintln!("unknown scale; use tiny|small|default|paper");
+                            std::process::exit(2);
+                        });
+                }
+                "--out" => {
+                    i += 1;
+                    out = args.get(i).map(PathBuf::from);
+                }
+                other => {
+                    eprintln!("unknown argument {other:?} (supported: --scale, --out)");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        let mut lab = Lab::new(scale);
+        lab.out_dir = out;
+        lab
+    }
+
+    /// The two-site B-Root world.
+    pub fn broot(&self) -> &Scenario {
+        self.broot
+            .get_or_init(|| Scenario::broot(self.scale.topology(BROOT_TOPO_SEED), POLICY_SEED))
+    }
+
+    /// The nine-site Tangled world.
+    pub fn tangled(&self) -> &Scenario {
+        self.tangled
+            .get_or_init(|| Scenario::tangled(self.scale.topology(TANGLED_TOPO_SEED), POLICY_SEED))
+    }
+
+    pub fn broot_hitlist(&self) -> &Hitlist {
+        self.broot_hitlist
+            .get_or_init(|| Hitlist::from_internet(&self.broot().world, &HitlistConfig::default()))
+    }
+
+    pub fn tangled_hitlist(&self) -> &Hitlist {
+        self.tangled_hitlist.get_or_init(|| {
+            Hitlist::from_internet(&self.tangled().world, &HitlistConfig::default())
+        })
+    }
+
+    pub fn atlas_broot(&self) -> &AtlasPanel {
+        self.atlas_broot.get_or_init(|| {
+            let world = &self.broot().world;
+            AtlasPanel::place(world, &self.scale.atlas(0xa1, world.blocks.len()))
+        })
+    }
+
+    pub fn atlas_tangled(&self) -> &AtlasPanel {
+        self.atlas_tangled.get_or_init(|| {
+            let world = &self.tangled().world;
+            AtlasPanel::place(world, &self.scale.atlas(0xa2, world.blocks.len()))
+        })
+    }
+
+    /// The policy-drift seed of the "April" measurement date: same
+    /// announcement, but inter-AS tie-breaks drifted the way a month of
+    /// routing change does (the paper sees the blocks-to-LAX share move
+    /// from 82.4% to 87.8% between its two dates).
+    pub fn april_policy_seed(&self) -> u64 {
+        POLICY_SEED ^ 0x0421
+    }
+
+    /// The DITL-style load log for B-Root on the April date (LB-4-12).
+    pub fn load_april<'w>(&'w self) -> QueryLog<'w> {
+        QueryLog::ditl(&self.broot().world, LoadModel::default(), "LB-4-12")
+    }
+
+    /// The B-Root load log on the May date (LB-5-15): April volumes with a
+    /// month of per-block drift.
+    pub fn load_may<'w>(&'w self) -> QueryLog<'w> {
+        self.load_april().with_date(0x0515, "LB-5-15")
+    }
+
+    /// The `.nl`-style regional load log (LN-4-12).
+    pub fn load_nl<'w>(&'w self) -> QueryLog<'w> {
+        QueryLog::regional(&self.broot().world, LoadModel::default(), "LN-4-12", "NL")
+    }
+
+    /// Runs (or returns the cached) Verfploeter scan for an announcement
+    /// variant. `key` names the dataset (e.g. "SBV-5-15"); `ident` is the
+    /// measurement-round ICMP identifier.
+    pub fn vp_scan(
+        &self,
+        key: &str,
+        scenario: &Scenario,
+        hitlist: &Hitlist,
+        announcement: &Announcement,
+        ident: u16,
+    ) -> Rc<ScanResult> {
+        self.vp_scan_seeded(key, scenario, hitlist, announcement, ident, scenario.policy_seed)
+    }
+
+    /// Like [`Lab::vp_scan`] but under a drifted routing-policy seed (used
+    /// for the April measurement date).
+    pub fn vp_scan_seeded(
+        &self,
+        key: &str,
+        scenario: &Scenario,
+        hitlist: &Hitlist,
+        announcement: &Announcement,
+        ident: u16,
+        policy_seed: u64,
+    ) -> Rc<ScanResult> {
+        if let Some(r) = self.vp_scans.borrow().get(key) {
+            return Rc::clone(r);
+        }
+        let table = scenario.routing_with_seed(announcement, policy_seed);
+        let config = ScanConfig {
+            name: key.to_owned(),
+            probe: ProbeConfig {
+                rate_per_sec: 10_000.0,
+                ident,
+                order_seed: 0x0bde ^ ident as u64,
+            },
+            cutoff: SimDuration::from_mins(15),
+        };
+        let result = Rc::new(run_scan(
+            &scenario.world,
+            hitlist,
+            announcement,
+            Box::new(StaticOracle::new(table)),
+            FaultConfig::default(),
+            SimTime::ZERO,
+            &config,
+            0x51ed ^ ident as u64,
+        ));
+        self.vp_scans
+            .borrow_mut()
+            .insert(key.to_owned(), Rc::clone(&result));
+        result
+    }
+
+    /// Runs (or returns the cached) Atlas scan for an announcement variant.
+    pub fn atlas_scan(
+        &self,
+        key: &str,
+        scenario: &Scenario,
+        panel: &AtlasPanel,
+        announcement: &Announcement,
+    ) -> Rc<AtlasResult> {
+        self.atlas_scan_seeded(key, scenario, panel, announcement, scenario.policy_seed)
+    }
+
+    /// Like [`Lab::atlas_scan`] but under a drifted routing-policy seed.
+    pub fn atlas_scan_seeded(
+        &self,
+        key: &str,
+        scenario: &Scenario,
+        panel: &AtlasPanel,
+        announcement: &Announcement,
+        policy_seed: u64,
+    ) -> Rc<AtlasResult> {
+        if let Some(r) = self.atlas_scans.borrow().get(key) {
+            return Rc::clone(r);
+        }
+        let table = scenario.routing_with_seed(announcement, policy_seed);
+        let result = Rc::new(vp_atlas::run_scan(
+            &scenario.world,
+            panel,
+            announcement,
+            Box::new(StaticOracle::new(table)),
+            FaultConfig::default(),
+            SimTime::ZERO,
+            SimDuration::from_mins(8),
+            key,
+            0xa7 ^ key.len() as u64,
+        ));
+        self.atlas_scans
+            .borrow_mut()
+            .insert(key.to_owned(), Rc::clone(&result));
+        result
+    }
+
+    /// The STV-3-23 dataset: the Tangled catchment measured every 15
+    /// minutes for 24 hours (96 rounds at default scale), with churn and
+    /// route flips active.
+    pub fn tangled_rounds(&self) -> Rc<Vec<CatchmentMap>> {
+        Rc::clone(self.tangled_rounds.get_or_init(|| {
+            let scenario = self.tangled();
+            let hitlist = self.tangled_hitlist();
+            let table = scenario.routing();
+            let model = scenario.flip_model(FLIP_SEED, &table);
+            let rounds = self.scale.stability_rounds();
+            let interval = SimDuration::from_mins(15);
+            let mut maps = Vec::with_capacity(rounds as usize);
+            for r in 0..rounds {
+                let oracle = FlippingOracle::new(
+                    table.clone(),
+                    scenario.world.graph.clone(),
+                    model.clone(),
+                    interval,
+                );
+                let start = SimTime::ZERO + SimDuration(interval.0 * r as u64);
+                let config = ScanConfig {
+                    name: format!("STV-3-23/r{r}"),
+                    probe: ProbeConfig {
+                        rate_per_sec: 10_000.0,
+                        ident: 100 + r as u16,
+                        order_seed: 0x57ab ^ r as u64,
+                    },
+                    cutoff: SimDuration::from_mins(15),
+                };
+                let result = run_scan(
+                    &scenario.world,
+                    hitlist,
+                    &scenario.announcement,
+                    Box::new(oracle),
+                    FaultConfig::default(),
+                    start,
+                    &config,
+                    0x0523 ^ r as u64,
+                );
+                maps.push(result.catchments);
+            }
+            Rc::new(maps)
+        }))
+    }
+
+    /// Writes a JSON artifact under the output directory, if one is set.
+    pub fn write_json(&self, name: &str, value: &serde_json::Value) {
+        let Some(dir) = &self.out_dir else { return };
+        std::fs::create_dir_all(dir).expect("create output dir");
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn lab_caches_scans() {
+        let lab = Lab::new(Scale::Tiny);
+        let s = lab.broot();
+        let hl = lab.broot_hitlist();
+        let a = lab.vp_scan("SBV-X", s, hl, &s.announcement, 1);
+        let b = lab.vp_scan("SBV-X", s, hl, &s.announcement, 1);
+        assert!(Rc::ptr_eq(&a, &b), "scan not cached");
+    }
+
+    #[test]
+    fn lab_builds_both_worlds() {
+        let lab = Lab::new(Scale::Tiny);
+        assert_eq!(lab.broot().announcement.sites.len(), 2);
+        assert_eq!(lab.tangled().announcement.sites.len(), 9);
+        assert_eq!(lab.broot_hitlist().len(), lab.broot().world.blocks.len());
+    }
+
+    #[test]
+    fn april_seed_differs_and_drifts_routing_modestly() {
+        let lab = Lab::new(Scale::Tiny);
+        assert_ne!(lab.april_policy_seed(), POLICY_SEED);
+        let s = lab.broot();
+        let may = s.routing();
+        let april = s.routing_with_seed(&s.announcement, lab.april_policy_seed());
+        let moved = may
+            .per_as
+            .iter()
+            .zip(&april.per_as)
+            .filter(|(a, b)| {
+                a.as_ref().map(|r| r.selected_site()) != b.as_ref().map(|r| r.selected_site())
+            })
+            .count();
+        assert!(moved > 0, "no routing drift between dates");
+        assert!(moved * 2 < may.per_as.len(), "drift too large: {moved}");
+    }
+
+    #[test]
+    fn tangled_rounds_build_at_tiny_scale() {
+        let lab = Lab::new(Scale::Tiny);
+        let rounds = lab.tangled_rounds();
+        assert_eq!(rounds.len(), 12);
+        assert!(rounds.iter().all(|m| !m.is_empty()));
+        // Cached.
+        let again = lab.tangled_rounds();
+        assert!(Rc::ptr_eq(&rounds, &again));
+    }
+}

@@ -1,0 +1,50 @@
+//! Fig. 3: catchments of the nine-site Tangled testbed, Atlas vs
+//! Verfploeter.
+//!
+//! Shape target: with more sites, the sparse Atlas view and the dense
+//! Verfploeter view disagree qualitatively outside Europe (§5.2) — and
+//! only Verfploeter covers China at all.
+
+use crate::context::Lab;
+use crate::experiments::maps::render_pair;
+
+pub fn run(lab: &Lab) -> String {
+    let scenario = lab.tangled();
+    let atlas = lab.atlas_scan(
+        "STA-2-01",
+        scenario,
+        lab.atlas_tangled(),
+        &scenario.announcement,
+    );
+    let vp = lab.vp_scan(
+        "STV-2-01",
+        scenario,
+        lab.tangled_hitlist(),
+        &scenario.announcement,
+        21,
+    );
+
+    let mut out = String::from("Fig. 3: catchments for Tangled from RIPE Atlas and Verfploeter\n\n");
+    out.push_str(&render_pair(lab, scenario, &atlas, &vp.catchments, "fig3"));
+
+    // Sites invisible to Atlas but visible to Verfploeter.
+    let atlas_sites: std::collections::BTreeSet<_> =
+        atlas.site_counts().keys().copied().collect();
+    let vp_sites: std::collections::BTreeSet<_> =
+        vp.catchments.site_counts().keys().copied().collect();
+    let missed: Vec<String> = vp_sites
+        .difference(&atlas_sites)
+        .map(|s| scenario.announcement.sites[s.index()].name.clone())
+        .collect();
+    out.push_str(&format!(
+        "\nSites observed: Atlas {} of 9, Verfploeter {} of 9{}.\n",
+        atlas_sites.len(),
+        vp_sites.len(),
+        if missed.is_empty() {
+            String::new()
+        } else {
+            format!(" (Atlas misses: {})", missed.join(", "))
+        }
+    ));
+    out
+}

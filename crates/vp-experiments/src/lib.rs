@@ -1,0 +1,18 @@
+//! Experiment harness for the Verfploeter reproduction.
+//!
+//! Every table and figure of the paper's evaluation has a regenerator here
+//! (see DESIGN.md's experiment index). Each experiment is a library
+//! function taking a shared [`Lab`] — which lazily builds and caches the
+//! expensive artifacts (worlds, hitlists, scans, the 96-round stability
+//! dataset) — and returning the rendered report; the `src/bin/*` binaries
+//! are thin wrappers, and `run_all` executes everything in one process so
+//! the cache is shared.
+//!
+//! Absolute numbers differ from the paper (the substrate is a generated
+//! world, not the 2017 Internet); the *shapes* are the reproduction
+//! targets: who wins, by what rough factor, where the crossovers fall.
+
+pub mod context;
+pub mod experiments;
+
+pub use context::{Lab, Scale};

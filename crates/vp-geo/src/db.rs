@@ -1,0 +1,100 @@
+//! The MaxMind stand-in: a `/24 → location` database.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use vp_net::Block24;
+
+use crate::world::CountryId;
+
+/// A geolocated position for a block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoLoc {
+    pub country: CountryId,
+    pub lat: f64,
+    pub lon: f64,
+}
+
+/// Block-level geolocation database.
+///
+/// Built by the topology generator; consulted by every analysis that bins
+/// observations geographically. Blocks absent from the database are the
+/// "no location" row of Table 4 — the paper discards 678 such blocks.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GeoDb {
+    entries: HashMap<Block24, GeoLoc>,
+}
+
+impl GeoDb {
+    pub fn new() -> Self {
+        GeoDb::default()
+    }
+
+    /// Registers a block's location (last write wins).
+    pub fn insert(&mut self, block: Block24, loc: GeoLoc) {
+        self.entries.insert(block, loc);
+    }
+
+    /// Looks a block up; `None` reproduces the paper's unlocatable blocks.
+    pub fn locate(&self, block: Block24) -> Option<GeoLoc> {
+        self.entries.get(&block).copied()
+    }
+
+    /// Number of locatable blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates all `(block, location)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Block24, GeoLoc)> + '_ {
+        self.entries.iter().map(|(b, l)| (*b, *l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(country: u16, lat: f64, lon: f64) -> GeoLoc {
+        GeoLoc {
+            country: CountryId(country),
+            lat,
+            lon,
+        }
+    }
+
+    #[test]
+    fn insert_and_locate() {
+        let mut db = GeoDb::new();
+        assert!(db.is_empty());
+        let b = Block24(100);
+        db.insert(b, loc(3, 52.0, 5.0));
+        assert_eq!(db.len(), 1);
+        let got = db.locate(b).unwrap();
+        assert_eq!(got.country, CountryId(3));
+        assert!(db.locate(Block24(101)).is_none());
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let mut db = GeoDb::new();
+        let b = Block24(7);
+        db.insert(b, loc(1, 0.0, 0.0));
+        db.insert(b, loc(2, 10.0, 10.0));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.locate(b).unwrap().country, CountryId(2));
+    }
+
+    #[test]
+    fn iter_covers_entries() {
+        let mut db = GeoDb::new();
+        for i in 0..10 {
+            db.insert(Block24(i), loc(0, i as f64, 0.0));
+        }
+        assert_eq!(db.iter().count(), 10);
+    }
+}

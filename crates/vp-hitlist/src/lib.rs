@@ -1,0 +1,224 @@
+//! The hitlist: one representative probe target per `/24` block.
+//!
+//! Verfploeter probes "a recent ISI IPv4 hitlist ... because they provide
+//! representative addresses for each /24 block that are most likely to
+//! reply to pings, and with one address per /24 block, we can reduce
+//! measurement traffic to 0.4% of a complete IPv4 scan" (§3.1).
+//!
+//! The stand-in here derives its targets from the generated world's
+//! populated blocks. Like the real hitlist, it is imperfect: for a small
+//! fraction of blocks the listed address is *not* the block's live
+//! representative ("the specific address we chose to contact did not
+//! reply", §5.4) — those blocks end up unmapped even though they are
+//! responsive, feeding Table 5's "not mappable" row.
+
+use serde::{Deserialize, Serialize};
+use vp_net::{Block24, Ipv4Addr};
+use vp_topology::Internet;
+
+/// One hitlist row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HitlistEntry {
+    pub block: Block24,
+    /// The address the prober will target in this block.
+    pub target: Ipv4Addr,
+}
+
+/// Configuration of hitlist construction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HitlistConfig {
+    /// Probability the listed target is a stale/wrong address that will not
+    /// answer even when the block is responsive.
+    pub wrong_addr_prob: f64,
+    /// Seed for the deterministic wrong-address selection.
+    pub seed: u64,
+}
+
+impl Default for HitlistConfig {
+    fn default() -> Self {
+        HitlistConfig {
+            wrong_addr_prob: 0.03,
+            seed: 0x4157,
+        }
+    }
+}
+
+/// An ordered hitlist over every populated block of a world.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hitlist {
+    entries: Vec<HitlistEntry>,
+}
+
+impl Hitlist {
+    /// Builds the hitlist from a world: one entry per populated block, in
+    /// block order. A `wrong_addr_prob` fraction of entries points at a
+    /// non-representative address.
+    pub fn from_internet(world: &Internet, cfg: &HitlistConfig) -> Hitlist {
+        assert!(
+            (0.0..=1.0).contains(&cfg.wrong_addr_prob),
+            "wrong_addr_prob out of range"
+        );
+        let mut entries: Vec<HitlistEntry> = world
+            .blocks
+            .iter()
+            .map(|b| {
+                let h = mix(cfg.seed, b.block.0 as u64);
+                let target = if unit(h) < cfg.wrong_addr_prob {
+                    // Deterministically pick a different final octet.
+                    let mut octet = (mix(cfg.seed ^ 0xbad, b.block.0 as u64) % 254) as u8 + 1;
+                    if octet == b.rep_octet {
+                        octet = if octet == 254 { 1 } else { octet + 1 };
+                    }
+                    b.block.addr(octet)
+                } else {
+                    b.representative()
+                };
+                HitlistEntry {
+                    block: b.block,
+                    target,
+                }
+            })
+            .collect();
+        entries.sort_by_key(|e| e.block);
+        Hitlist { entries }
+    }
+
+    /// Number of targets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `i`-th entry (in block order).
+    pub fn entry(&self, i: usize) -> HitlistEntry {
+        self.entries[i]
+    }
+
+    /// All entries in block order.
+    pub fn entries(&self) -> &[HitlistEntry] {
+        &self.entries
+    }
+
+    /// Looks up the entry for a block (binary search).
+    pub fn for_block(&self, block: Block24) -> Option<HitlistEntry> {
+        self.entries
+            .binary_search_by_key(&block, |e| e.block)
+            .ok()
+            .map(|i| self.entries[i])
+    }
+
+    /// Serializes to JSON (one array; stable order).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.entries).expect("hitlist serializes")
+    }
+
+    /// Deserializes from [`Hitlist::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Hitlist, serde_json::Error> {
+        let mut entries: Vec<HitlistEntry> = serde_json::from_str(s)?;
+        entries.sort_by_key(|e| e.block);
+        Ok(Hitlist { entries })
+    }
+}
+
+fn mix(seed: u64, x: u64) -> u64 {
+    let mut z = seed ^ x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_topology::TopologyConfig;
+
+    fn world() -> Internet {
+        Internet::generate(TopologyConfig::tiny(17))
+    }
+
+    #[test]
+    fn covers_every_populated_block_once() {
+        let w = world();
+        let hl = Hitlist::from_internet(&w, &HitlistConfig::default());
+        assert_eq!(hl.len(), w.blocks.len());
+        let blocks: std::collections::HashSet<Block24> =
+            hl.entries().iter().map(|e| e.block).collect();
+        assert_eq!(blocks.len(), hl.len());
+        for e in hl.entries() {
+            assert!(e.block.contains(e.target), "{} outside {}", e.target, e.block);
+            assert!(w.block(e.block).is_some());
+        }
+    }
+
+    #[test]
+    fn most_targets_are_representatives() {
+        let w = world();
+        let cfg = HitlistConfig::default();
+        let hl = Hitlist::from_internet(&w, &cfg);
+        let wrong = hl
+            .entries()
+            .iter()
+            .filter(|e| w.block(e.block).unwrap().representative() != e.target)
+            .count();
+        let frac = wrong as f64 / hl.len() as f64;
+        assert!(
+            (frac - cfg.wrong_addr_prob).abs() < 0.02,
+            "wrong-target fraction {frac:.3}"
+        );
+    }
+
+    #[test]
+    fn zero_wrong_prob_means_all_representatives() {
+        let w = world();
+        let cfg = HitlistConfig {
+            wrong_addr_prob: 0.0,
+            ..HitlistConfig::default()
+        };
+        let hl = Hitlist::from_internet(&w, &cfg);
+        for e in hl.entries() {
+            assert_eq!(e.target, w.block(e.block).unwrap().representative());
+        }
+    }
+
+    #[test]
+    fn for_block_lookup() {
+        let w = world();
+        let hl = Hitlist::from_internet(&w, &HitlistConfig::default());
+        let some = hl.entry(hl.len() / 2);
+        assert_eq!(hl.for_block(some.block), Some(some));
+        assert_eq!(hl.for_block(Block24(0)), None);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let w = world();
+        let hl = Hitlist::from_internet(&w, &HitlistConfig::default());
+        let json = hl.to_json();
+        let back = Hitlist::from_json(&json).unwrap();
+        assert_eq!(back, hl);
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let w = world();
+        let a = Hitlist::from_internet(&w, &HitlistConfig::default());
+        let b = Hitlist::from_internet(&w, &HitlistConfig::default());
+        assert_eq!(a, b);
+        let c = Hitlist::from_internet(
+            &w,
+            &HitlistConfig {
+                seed: 999,
+                ..HitlistConfig::default()
+            },
+        );
+        // Different seed changes which blocks get wrong targets.
+        assert_ne!(a, c);
+    }
+}

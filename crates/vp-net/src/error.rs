@@ -1,0 +1,37 @@
+//! Error type for primitive parsing and construction.
+
+use std::fmt;
+
+/// Errors from parsing or constructing network primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The string is not a dotted-quad IPv4 address.
+    AddrParse(String),
+    /// The string is not a CIDR prefix.
+    PrefixParse(String),
+    /// Prefix length out of the 0..=32 range.
+    PrefixLen(u8),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::AddrParse(s) => write!(f, "invalid IPv4 address: {s:?}"),
+            NetError::PrefixParse(s) => write!(f, "invalid CIDR prefix: {s:?}"),
+            NetError::PrefixLen(l) => write!(f, "prefix length {l} out of range 0..=32"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(NetError::AddrParse("x".into()).to_string().contains("x"));
+        assert!(NetError::PrefixLen(40).to_string().contains("40"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Network primitives shared by every crate in the Verfploeter reproduction.
+//!
+//! This crate is deliberately dependency-light: it defines the vocabulary
+//! types the rest of the workspace speaks in.
+//!
+//! * [`addr`] — IPv4 addresses, `/24` blocks ([`Block24`]) and CIDR prefixes
+//!   ([`Prefix`]). Verfploeter probes one representative address per `/24`
+//!   (the smallest prefix routable in BGP), so the `/24` block is the unit of
+//!   observation throughout the system.
+//! * [`asn`] — Autonomous System numbers ([`Asn`]).
+//! * [`trie`] — a longest-prefix-match trie ([`trie::PrefixTrie`]) used for
+//!   the Route Views-style prefix → origin-AS table.
+//! * [`perm`] — pseudorandom probe-order permutations (Feistel cycle-walking
+//!   and a full-period LCG for the ablation bench). The paper sends probes in
+//!   pseudorandom order "to spread traffic, limiting traffic to any given
+//!   network" (§3.1); these types make that order deterministic and testable.
+//! * [`pacing`] — a token bucket that enforces the paper's probing rate
+//!   (~6–10k probes/second) against simulated time.
+//! * [`time`] — the simulated-time scale ([`SimTime`], [`SimDuration`]) used
+//!   by the discrete-event simulator and everything driven by it.
+
+pub mod addr;
+pub mod asn;
+pub mod error;
+pub mod pacing;
+pub mod perm;
+pub mod time;
+pub mod trie;
+
+pub use addr::{Block24, Ipv4Addr, Prefix};
+pub use asn::Asn;
+pub use error::NetError;
+pub use pacing::TokenBucket;
+pub use perm::{FeistelPermutation, LcgPermutation, ProbeOrder};
+pub use time::{SimDuration, SimTime};
+pub use trie::PrefixTrie;

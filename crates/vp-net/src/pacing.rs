@@ -1,0 +1,192 @@
+//! Token-bucket pacing for the prober.
+//!
+//! The paper probes "relatively slowly (about 6k queries per second)" (§3.1)
+//! — respectively 10k/s in the Tangled measurements (§4.2) — to avoid rate
+//! limits and abuse complaints. [`TokenBucket`] enforces such a rate against
+//! the simulated clock and also drives the fault-injection rate limiters in
+//! `vp-sim`.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A classic token bucket driven by [`SimTime`].
+///
+/// Tokens accrue continuously at `rate_per_sec` up to `capacity`; each
+/// admitted event consumes one token. Fractional token state is kept exactly
+/// (in nanoseconds of accrual) so long simulations do not drift.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    capacity: f64,
+    tokens: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that admits `rate_per_sec` events per second with
+    /// burst capacity `capacity`, initially full.
+    ///
+    /// # Panics
+    /// Panics if `rate_per_sec` is not finite and positive or if `capacity`
+    /// is not at least 1.
+    pub fn new(rate_per_sec: f64, capacity: f64) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "rate must be positive, got {rate_per_sec}"
+        );
+        assert!(capacity >= 1.0, "capacity must be >= 1, got {capacity}");
+        TokenBucket {
+            rate_per_sec,
+            capacity,
+            tokens: capacity,
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let elapsed = now.since(self.last).as_secs_f64();
+        self.last = SimTime(self.last.0.max(now.0));
+        self.tokens = (self.tokens + elapsed * self.rate_per_sec).min(self.capacity);
+    }
+
+    /// Tries to admit one event at `now`. Returns `true` and consumes a
+    /// token if available.
+    pub fn try_acquire(&mut self, now: SimTime) -> bool {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The earliest instant at or after `now` when one token will be
+    /// available. Returns `now` itself if a token is available already.
+    ///
+    /// Does not consume a token; callers typically schedule a wakeup at the
+    /// returned time and then call [`try_acquire`](Self::try_acquire).
+    pub fn next_available(&mut self, now: SimTime) -> SimTime {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            now
+        } else {
+            let deficit = 1.0 - self.tokens;
+            let wait = SimDuration::from_secs_f64(deficit / self.rate_per_sec);
+            // Guard against zero-length waits from float truncation, which
+            // would make an event loop spin without advancing time.
+            now + SimDuration(wait.0.max(1))
+        }
+    }
+
+    /// Tokens currently available (diagnostic).
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_admits_burst() {
+        let mut b = TokenBucket::new(10.0, 5.0);
+        let t = SimTime::ZERO;
+        for _ in 0..5 {
+            assert!(b.try_acquire(t));
+        }
+        assert!(!b.try_acquire(t));
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        let mut b = TokenBucket::new(10.0, 1.0);
+        let mut t = SimTime::ZERO;
+        assert!(b.try_acquire(t));
+        assert!(!b.try_acquire(t));
+        // One token every 100ms.
+        t += SimDuration::from_millis(100);
+        assert!(b.try_acquire(t));
+        assert!(!b.try_acquire(t));
+    }
+
+    #[test]
+    fn capacity_caps_accrual() {
+        let mut b = TokenBucket::new(100.0, 3.0);
+        let t = SimTime::ZERO + SimDuration::from_secs(1000);
+        assert_eq!(b.available(t), 3.0);
+        for _ in 0..3 {
+            assert!(b.try_acquire(t));
+        }
+        assert!(!b.try_acquire(t));
+    }
+
+    #[test]
+    fn next_available_schedules_wakeup() {
+        let mut b = TokenBucket::new(1000.0, 1.0);
+        let t = SimTime::ZERO;
+        assert!(b.try_acquire(t));
+        let next = b.next_available(t);
+        assert!(next > t);
+        // ~1ms at 1000/s.
+        assert_eq!(next.since(t).as_millis(), 1);
+        assert!(b.try_acquire(next));
+    }
+
+    #[test]
+    fn next_available_is_now_when_token_free() {
+        let mut b = TokenBucket::new(5.0, 2.0);
+        let t = SimTime::ZERO + SimDuration::from_secs(3);
+        assert_eq!(b.next_available(t), t);
+    }
+
+    #[test]
+    fn long_run_rate_is_exact() {
+        // Admit as fast as allowed for 10 simulated seconds at 6000/s and
+        // check we admitted 6000/s worth (the paper's B-Root probing rate).
+        let rate = 6000.0;
+        let mut b = TokenBucket::new(rate, 1.0);
+        let end = SimTime::ZERO + SimDuration::from_secs(10);
+        let mut t = SimTime::ZERO;
+        let mut admitted = 0u64;
+        while t < end {
+            if b.try_acquire(t) {
+                admitted += 1;
+            }
+            t = b.next_available(t).max(t + SimDuration(1));
+        }
+        let expected = (rate * 10.0) as u64;
+        let diff = admitted.abs_diff(expected);
+        assert!(diff <= 2, "admitted {admitted}, expected ~{expected}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        TokenBucket::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be >= 1")]
+    fn tiny_capacity_rejected() {
+        TokenBucket::new(1.0, 0.5);
+    }
+
+    #[test]
+    fn time_moving_backwards_is_ignored() {
+        let mut b = TokenBucket::new(10.0, 1.0);
+        let t1 = SimTime::ZERO + SimDuration::from_secs(1);
+        assert!(b.try_acquire(t1));
+        // An earlier timestamp must not mint tokens or underflow.
+        let t0 = SimTime::ZERO;
+        assert!(!b.try_acquire(t0));
+        let t2 = t1 + SimDuration::from_millis(100);
+        assert!(b.try_acquire(t2));
+    }
+}

@@ -1,0 +1,65 @@
+//! Parse/emit errors.
+
+use std::fmt;
+
+/// Errors from parsing untrusted packet bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// Fewer bytes than the format requires. Carries what was needed/got.
+    Truncated { needed: usize, got: usize },
+    /// IPv4 version field was not 4.
+    BadVersion(u8),
+    /// IPv4 IHL smaller than the 20-byte minimum header.
+    BadHeaderLen(u8),
+    /// A checksum did not verify.
+    BadChecksum { expected: u16, got: u16 },
+    /// The total-length field disagrees with the buffer.
+    BadTotalLen { field: usize, buffer: usize },
+    /// An ICMP type this implementation does not model.
+    UnknownIcmpType(u8),
+    /// A malformed DNS name (label too long, overall too long, or a bad
+    /// compression pointer).
+    BadDnsName(&'static str),
+    /// DNS message structurally invalid.
+    BadDns(&'static str),
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::Truncated { needed, got } => {
+                write!(f, "truncated packet: needed {needed} bytes, got {got}")
+            }
+            PacketError::BadVersion(v) => write!(f, "bad IP version {v}"),
+            PacketError::BadHeaderLen(l) => write!(f, "bad IPv4 header length {l}"),
+            PacketError::BadChecksum { expected, got } => {
+                write!(f, "bad checksum: expected {expected:#06x}, got {got:#06x}")
+            }
+            PacketError::BadTotalLen { field, buffer } => {
+                write!(f, "total length {field} does not fit buffer of {buffer}")
+            }
+            PacketError::UnknownIcmpType(t) => write!(f, "unsupported ICMP type {t}"),
+            PacketError::BadDnsName(why) => write!(f, "bad DNS name: {why}"),
+            PacketError::BadDns(why) => write!(f, "bad DNS message: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = PacketError::Truncated { needed: 20, got: 3 };
+        assert!(e.to_string().contains("20"));
+        assert!(e.to_string().contains("3"));
+        let e = PacketError::BadChecksum {
+            expected: 0xbeef,
+            got: 0xdead,
+        };
+        assert!(e.to_string().contains("0xbeef"));
+    }
+}

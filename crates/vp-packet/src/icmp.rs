@@ -1,0 +1,233 @@
+//! ICMP echo messages — the probe currency of Verfploeter.
+//!
+//! The prober sends Echo Requests whose identifier encodes the measurement
+//! round ("a unique identifier in the ICMP header was used in every
+//! measurement round to ensure data set separation", §4.2) and whose
+//! sequence number indexes the hitlist entry. Replies echo both back, which
+//! is how the collector pairs replies with probes and drops foreign traffic.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::checksum;
+use crate::error::PacketError;
+
+const ECHO_REPLY: u8 = 0;
+const DEST_UNREACHABLE: u8 = 3;
+const ECHO_REQUEST: u8 = 8;
+const MIN_LEN: usize = 8;
+
+/// The ICMP messages the simulator models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IcmpMessage {
+    EchoRequest {
+        ident: u16,
+        seq: u16,
+        payload: Bytes,
+    },
+    EchoReply {
+        ident: u16,
+        seq: u16,
+        payload: Bytes,
+    },
+    /// Destination unreachable, carrying the offending header bytes.
+    DestUnreachable { code: u8, original: Bytes },
+}
+
+impl IcmpMessage {
+    /// Convenience constructor for a probe.
+    pub fn echo_request(ident: u16, seq: u16, payload: Bytes) -> Self {
+        IcmpMessage::EchoRequest {
+            ident,
+            seq,
+            payload,
+        }
+    }
+
+    /// The reply a well-behaved host sends to this message, if any.
+    pub fn reply(&self) -> Option<IcmpMessage> {
+        match self {
+            IcmpMessage::EchoRequest {
+                ident,
+                seq,
+                payload,
+            } => Some(IcmpMessage::EchoReply {
+                ident: *ident,
+                seq: *seq,
+                payload: payload.clone(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// The echo identifier, if this is an echo message.
+    pub fn ident(&self) -> Option<u16> {
+        match self {
+            IcmpMessage::EchoRequest { ident, .. } | IcmpMessage::EchoReply { ident, .. } => {
+                Some(*ident)
+            }
+            IcmpMessage::DestUnreachable { .. } => None,
+        }
+    }
+
+    /// The echo sequence number, if this is an echo message.
+    pub fn seq(&self) -> Option<u16> {
+        match self {
+            IcmpMessage::EchoRequest { seq, .. } | IcmpMessage::EchoReply { seq, .. } => Some(*seq),
+            IcmpMessage::DestUnreachable { .. } => None,
+        }
+    }
+
+    /// Serializes to wire bytes with a correct ICMP checksum.
+    pub fn emit(&self) -> Bytes {
+        let (ty, code, a, b, body): (u8, u8, u16, u16, &Bytes) = match self {
+            IcmpMessage::EchoRequest {
+                ident,
+                seq,
+                payload,
+            } => (ECHO_REQUEST, 0, *ident, *seq, payload),
+            IcmpMessage::EchoReply {
+                ident,
+                seq,
+                payload,
+            } => (ECHO_REPLY, 0, *ident, *seq, payload),
+            IcmpMessage::DestUnreachable { code, original } => {
+                (DEST_UNREACHABLE, *code, 0, 0, original)
+            }
+        };
+        let mut buf = BytesMut::with_capacity(MIN_LEN + body.len());
+        buf.put_u8(ty);
+        buf.put_u8(code);
+        buf.put_u16(0); // checksum placeholder
+        buf.put_u16(a);
+        buf.put_u16(b);
+        buf.extend_from_slice(body);
+        let ck = checksum::internet_checksum(&buf);
+        buf[2..4].copy_from_slice(&ck.to_be_bytes());
+        buf.freeze()
+    }
+
+    /// Parses wire bytes, validating length, checksum and message type.
+    pub fn parse(data: &[u8]) -> Result<IcmpMessage, PacketError> {
+        if data.len() < MIN_LEN {
+            return Err(PacketError::Truncated {
+                needed: MIN_LEN,
+                got: data.len(),
+            });
+        }
+        if !checksum::verify(data) {
+            let got = u16::from_be_bytes([data[2], data[3]]);
+            return Err(PacketError::BadChecksum { expected: 0, got });
+        }
+        let ty = data[0];
+        let code = data[1];
+        let a = u16::from_be_bytes([data[4], data[5]]);
+        let b = u16::from_be_bytes([data[6], data[7]]);
+        let body = Bytes::copy_from_slice(&data[MIN_LEN..]);
+        match ty {
+            ECHO_REQUEST => Ok(IcmpMessage::EchoRequest {
+                ident: a,
+                seq: b,
+                payload: body,
+            }),
+            ECHO_REPLY => Ok(IcmpMessage::EchoReply {
+                ident: a,
+                seq: b,
+                payload: body,
+            }),
+            DEST_UNREACHABLE => Ok(IcmpMessage::DestUnreachable {
+                code,
+                original: body,
+            }),
+            other => Err(PacketError::UnknownIcmpType(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let m = IcmpMessage::echo_request(0x1234, 7, Bytes::from_static(b"verfploeter"));
+        let wire = m.emit();
+        assert_eq!(IcmpMessage::parse(&wire).unwrap(), m);
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let m = IcmpMessage::EchoReply {
+            ident: 9,
+            seq: 65535,
+            payload: Bytes::new(),
+        };
+        assert_eq!(IcmpMessage::parse(&m.emit()).unwrap(), m);
+    }
+
+    #[test]
+    fn unreachable_roundtrip() {
+        let m = IcmpMessage::DestUnreachable {
+            code: 1,
+            original: Bytes::from_static(&[1, 2, 3, 4]),
+        };
+        assert_eq!(IcmpMessage::parse(&m.emit()).unwrap(), m);
+        assert_eq!(m.ident(), None);
+        assert_eq!(m.seq(), None);
+    }
+
+    #[test]
+    fn reply_mirrors_request_fields() {
+        let req = IcmpMessage::echo_request(42, 1000, Bytes::from_static(b"x"));
+        let rep = req.reply().unwrap();
+        assert_eq!(rep.ident(), Some(42));
+        assert_eq!(rep.seq(), Some(1000));
+        match rep {
+            IcmpMessage::EchoReply { payload, .. } => assert_eq!(&payload[..], b"x"),
+            other => panic!("expected reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replies_do_not_reply() {
+        let rep = IcmpMessage::EchoReply {
+            ident: 1,
+            seq: 2,
+            payload: Bytes::new(),
+        };
+        assert!(rep.reply().is_none());
+    }
+
+    #[test]
+    fn parse_rejects_corruption() {
+        let mut wire = BytesMut::from(&IcmpMessage::echo_request(1, 2, Bytes::new()).emit()[..]);
+        wire[4] ^= 0xff;
+        assert!(matches!(
+            IcmpMessage::parse(&wire).unwrap_err(),
+            PacketError::BadChecksum { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_short() {
+        assert!(matches!(
+            IcmpMessage::parse(&[8, 0, 0]).unwrap_err(),
+            PacketError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_type() {
+        // Type 13 (timestamp) with a valid checksum.
+        let mut buf = BytesMut::new();
+        buf.put_u8(13);
+        buf.put_u8(0);
+        buf.put_u16(0);
+        buf.put_u32(0);
+        let ck = checksum::internet_checksum(&buf);
+        buf[2..4].copy_from_slice(&ck.to_be_bytes());
+        assert!(matches!(
+            IcmpMessage::parse(&buf).unwrap_err(),
+            PacketError::UnknownIcmpType(13)
+        ));
+    }
+}

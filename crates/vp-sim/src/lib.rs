@@ -1,0 +1,38 @@
+//! Discrete-event network simulator for anycast measurement.
+//!
+//! This is the "Internet" the measurement tools run against. Applications
+//! (the Verfploeter prober, the Atlas baseline, the DNS load generator)
+//! inject real byte-level [`vp_packet`] packets at simulated times; the
+//! engine delivers them according to the world's unicast reachability and —
+//! for destinations inside a registered anycast service prefix — the BGP
+//! catchment of the *sender*, exactly the mechanism the paper exploits
+//! ("the catchment is identified by the anycast site that receives the
+//! reply", §3.1).
+//!
+//! The engine injects the measurement artifacts the paper's data-cleaning
+//! step confronts (§4): duplicate replies ("in some cases up to thousands
+//! of times", ~2% of replies), replies from a different address than
+//! probed, late replies, unsolicited traffic, packet loss, and blocks that
+//! churn between responsive and unresponsive across rounds (the
+//! to-NR/from-NR series of Fig. 9).
+//!
+//! Module map:
+//! * [`faults`] — fault-injection configuration (smoltcp-style knobs).
+//! * [`latency`] — distance-based propagation delay.
+//! * [`oracle`] — catchment oracles: converged ([`StaticOracle`]) or with
+//!   per-round flips ([`FlippingOracle`]).
+//! * [`engine`] — the event loop, host behaviours and capture logs.
+//! * [`scenario`] — assembled worlds: the two-site B-Root deployment and
+//!   the nine-site Tangled testbed of Table 3.
+
+pub mod engine;
+pub mod faults;
+pub mod latency;
+pub mod oracle;
+pub mod scenario;
+
+pub use engine::{HostDelivery, NetworkSim, ServiceHandle, SimStats, SiteCapture};
+pub use faults::FaultConfig;
+pub use latency::LatencyModel;
+pub use oracle::{CatchmentOracle, FlippingOracle, StaticOracle};
+pub use scenario::Scenario;

@@ -1,0 +1,124 @@
+//! Property-based tests of the discrete-event engine.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use vp_bgp::Announcement;
+use vp_net::{Ipv4Addr, SimTime};
+use vp_packet::{IcmpMessage, Ipv4Packet, Protocol};
+use vp_sim::{FaultConfig, NetworkSim, Scenario, StaticOracle};
+use vp_topology::TopologyConfig;
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::broot(
+        TopologyConfig {
+            seed,
+            num_ases: 80,
+            num_tier1: 4,
+            max_blocks: 1000,
+            max_prefixes_per_as: 20,
+            max_blocks_per_prefix: 16,
+            ..TopologyConfig::default()
+        },
+        7,
+    )
+}
+
+fn probe(src: Ipv4Addr, dst: Ipv4Addr, ident: u16, seq: u16) -> Ipv4Packet {
+    Ipv4Packet::new(
+        src,
+        dst,
+        Protocol::Icmp,
+        IcmpMessage::echo_request(ident, seq, Bytes::new()).emit(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Conservation: every injected probe is lost, undeliverable, or
+    /// delivered — and capture counts never exceed generated replies plus
+    /// unsolicited traffic.
+    #[test]
+    fn packet_conservation(world_seed in 0u64..3000, sim_seed in any::<u64>(), loss in 0.0f64..0.5) {
+        let s = scenario(world_seed);
+        let ann = s.announcement.clone();
+        let meas = ann.measurement_addr();
+        let faults = FaultConfig { loss, unsolicited_prob: 0.01, ..FaultConfig::default() };
+        let mut sim = NetworkSim::new(&s.world, faults, sim_seed);
+        let svc = sim.register_service(ann, Box::new(StaticOracle::new(s.routing())), false);
+        let n = s.world.blocks.len().min(300);
+        for (i, b) in s.world.blocks.iter().take(n).enumerate() {
+            sim.send_at(SimTime(i as u64 * 1_000_000), probe(meas, b.representative(), 1, i as u16));
+        }
+        sim.run();
+        let st = sim.stats();
+        prop_assert_eq!(st.injected, n as u64);
+        // Every transmission (probes + replies + dups + unsolicited) ends
+        // in exactly one of: lost, host delivery, site delivery, undeliverable.
+        let transmissions = st.injected + st.replies + st.duplicates + st.unsolicited;
+        prop_assert_eq!(
+            transmissions,
+            st.lost + st.delivered_to_hosts + st.delivered_to_sites + st.undeliverable,
+            "conservation violated: {:?}", st
+        );
+        prop_assert!(sim.captures(svc).len() as u64 <= st.delivered_to_sites);
+    }
+
+    /// Replies never outnumber delivered probes (modulo duplicates), and
+    /// with faults off the reply count equals up-block deliveries.
+    #[test]
+    fn clean_channel_reply_accounting(world_seed in 0u64..3000) {
+        let s = scenario(world_seed);
+        let ann = s.announcement.clone();
+        let meas = ann.measurement_addr();
+        let mut sim = NetworkSim::new(&s.world, FaultConfig::none(), 1);
+        let svc = sim.register_service(ann, Box::new(StaticOracle::new(s.routing())), false);
+        let mut expected = 0u64;
+        for (i, b) in s.world.blocks.iter().enumerate() {
+            sim.send_at(SimTime(i as u64 * 100_000), probe(meas, b.representative(), 2, i as u16));
+            if b.responsive {
+                expected += 1;
+            }
+        }
+        sim.run();
+        prop_assert_eq!(sim.stats().replies, expected);
+        prop_assert_eq!(sim.captures(svc).len() as u64, expected);
+        prop_assert_eq!(sim.stats().duplicates, 0);
+        prop_assert_eq!(sim.stats().lost, 0);
+    }
+
+    /// Arrival times never precede transmission times.
+    #[test]
+    fn causality(world_seed in 0u64..3000, offset_ms in 0u64..100_000) {
+        let s = scenario(world_seed);
+        let ann = s.announcement.clone();
+        let meas = ann.measurement_addr();
+        let start = SimTime::ZERO + vp_net::SimDuration::from_millis(offset_ms);
+        let mut sim = NetworkSim::new(&s.world, FaultConfig::none(), 3);
+        let svc = sim.register_service(ann, Box::new(StaticOracle::new(s.routing())), false);
+        for (i, b) in s.world.responsive_blocks().take(100).enumerate() {
+            sim.send_at(start, probe(meas, b.representative(), 3, i as u16));
+        }
+        sim.run();
+        for cap in sim.captures(svc) {
+            prop_assert!(cap.at >= start, "capture at {} before send at {}", cap.at, start);
+        }
+    }
+}
+
+#[test]
+fn service_registration_order_is_stable() {
+    let s = scenario(1);
+    let ann_a = s.announcement.clone();
+    let ann_b = {
+        let placements = vp_topology::pick_host_ases(&s.world, &[("X", "DE"), ("Y", "JP")]);
+        Announcement::from_placements(&placements, 3)
+    };
+    let mut sim = NetworkSim::new(&s.world, FaultConfig::none(), 4);
+    let a = sim.register_service(ann_a, Box::new(StaticOracle::new(s.routing())), false);
+    let table_b = s.routing_for(&ann_b);
+    let b = sim.register_service(ann_b, Box::new(StaticOracle::new(table_b)), true);
+    assert_ne!(a.0, b.0);
+    assert!(sim.captures(a).is_empty());
+    assert!(sim.captures(b).is_empty());
+}

@@ -1,0 +1,152 @@
+//! The assembled synthetic Internet.
+
+use std::collections::HashMap;
+
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+use vp_geo::GeoDb;
+use vp_net::{Asn, Block24, Ipv4Addr, PrefixTrie};
+
+use crate::blocks::{generate_blocks, BlockInfo};
+use crate::config::TopologyConfig;
+use crate::graph::AsGraph;
+use crate::prefixes::{allocate_prefixes, PrefixInfo};
+
+/// A complete generated world: AS graph, announced prefixes, populated
+/// blocks, geolocation database and origin (Route Views-style) table.
+#[derive(Debug, Clone)]
+pub struct Internet {
+    pub config: TopologyConfig,
+    pub graph: AsGraph,
+    pub prefixes: Vec<PrefixInfo>,
+    pub blocks: Vec<BlockInfo>,
+    pub geodb: GeoDb,
+    /// Longest-prefix-match table from announced prefix to origin AS.
+    pub origin_table: PrefixTrie<Asn>,
+    block_index: HashMap<Block24, u32>,
+    prefixes_per_as: Vec<u32>,
+}
+
+impl Internet {
+    /// Generates a world from the configuration (deterministic in the seed).
+    pub fn generate(config: TopologyConfig) -> Internet {
+        let mut rng = Pcg64::seed_from_u64(config.seed);
+        let graph = AsGraph::generate(&config, &mut rng);
+        let prefixes = allocate_prefixes(&graph, &config, &mut rng);
+        let (blocks, geodb) = generate_blocks(&graph, &prefixes, &config, &mut rng);
+
+        let mut origin_table = PrefixTrie::new();
+        let mut prefixes_per_as = vec![0u32; graph.len()];
+        for info in &prefixes {
+            origin_table.insert(info.prefix, info.origin);
+            prefixes_per_as[info.origin.index()] += 1;
+        }
+        let block_index = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.block, i as u32))
+            .collect();
+
+        Internet {
+            config,
+            graph,
+            prefixes,
+            blocks,
+            geodb,
+            origin_table,
+            block_index,
+            prefixes_per_as,
+        }
+    }
+
+    /// Attribute record for a block, if populated.
+    pub fn block(&self, block: Block24) -> Option<&BlockInfo> {
+        self.block_index
+            .get(&block)
+            .map(|&i| &self.blocks[i as usize])
+    }
+
+    /// Index of a populated block in [`Internet::blocks`].
+    pub fn block_idx(&self, block: Block24) -> Option<u32> {
+        self.block_index.get(&block).copied()
+    }
+
+    /// The origin AS announcing the covering prefix of `ip`, if any.
+    pub fn origin_of(&self, ip: Ipv4Addr) -> Option<Asn> {
+        self.origin_table.longest_match(ip).map(|(_, asn)| *asn)
+    }
+
+    /// Number of prefixes announced by `asn`.
+    pub fn announced_prefixes(&self, asn: Asn) -> u32 {
+        self.prefixes_per_as[asn.index()]
+    }
+
+    /// Iterator over blocks whose representative address answers pings.
+    pub fn responsive_blocks(&self) -> impl Iterator<Item = &BlockInfo> {
+        self.blocks.iter().filter(|b| b.responsive)
+    }
+
+    /// Total daily queries across all blocks (the DITL-day volume).
+    pub fn total_daily_queries(&self) -> f64 {
+        self.blocks.iter().map(|b| b.daily_queries).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> Internet {
+        Internet::generate(TopologyConfig::tiny(11))
+    }
+
+    #[test]
+    fn block_lookup_roundtrip() {
+        let w = world();
+        for b in w.blocks.iter().take(100) {
+            let got = w.block(b.block).unwrap();
+            assert_eq!(got.block, b.block);
+        }
+        assert!(w.block(Block24(0)).is_none()); // below 1.0.0.0
+    }
+
+    #[test]
+    fn origin_table_agrees_with_blocks() {
+        let w = world();
+        for b in w.blocks.iter().take(200) {
+            let origin = w.origin_of(b.block.addr(1)).unwrap();
+            assert_eq!(origin, b.origin);
+        }
+    }
+
+    #[test]
+    fn announced_prefix_counts_sum() {
+        let w = world();
+        let total: u32 = (0..w.graph.len() as u32)
+            .map(|i| w.announced_prefixes(Asn(i)))
+            .sum();
+        assert_eq!(total as usize, w.prefixes.len());
+    }
+
+    #[test]
+    fn responsive_iterator_filters() {
+        let w = world();
+        assert!(w.responsive_blocks().all(|b| b.responsive));
+        let n = w.responsive_blocks().count();
+        assert!(n > 0 && n < w.blocks.len());
+    }
+
+    #[test]
+    fn total_daily_queries_positive() {
+        let w = world();
+        assert!(w.total_daily_queries() > 0.0);
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = Internet::generate(TopologyConfig::tiny(5));
+        let b = Internet::generate(TopologyConfig::tiny(5));
+        assert_eq!(a.blocks.len(), b.blocks.len());
+        assert_eq!(a.prefixes.len(), b.prefixes.len());
+    }
+}

@@ -1,0 +1,128 @@
+//! Traffic engineering under DDoS: using prepending sweeps to move load.
+//!
+//! The paper's motivation (§1, §6.1): operators "need to shift load during
+//! emergencies, like for DDoS attacks that can be absorbed using multiple
+//! sites". This example simulates an attack whose sources concentrate in
+//! one region, then uses Verfploeter's prepending sweep to find the
+//! announcement configuration that best isolates attack traffic at one
+//! site while keeping legitimate load balanced.
+//!
+//! Run with: `cargo run --release --example ddos_traffic_engineering`
+
+use verfploeter_suite::dns::{LoadModel, QueryLog};
+use verfploeter_suite::geo::world::country_by_code;
+use verfploeter_suite::hitlist::{Hitlist, HitlistConfig};
+use verfploeter_suite::net::SimTime;
+use verfploeter_suite::sim::{FaultConfig, Scenario, StaticOracle};
+use verfploeter_suite::topology::TopologyConfig;
+use verfploeter_suite::vp::report::pct;
+use verfploeter_suite::vp::scan::{run_scan, ScanConfig};
+
+fn main() {
+    let config = TopologyConfig {
+        seed: 77,
+        num_ases: 1000,
+        max_blocks: 30_000,
+        ..TopologyConfig::default()
+    };
+    let scenario = Scenario::broot(config, 7);
+    let hitlist = Hitlist::from_internet(&scenario.world, &HitlistConfig::default());
+    let lax = scenario.announcement.site_by_name("LAX").unwrap().id;
+    let world = &scenario.world;
+
+    // Legitimate load: the usual DITL-style day.
+    let legit = QueryLog::ditl(world, LoadModel::default(), "legit");
+
+    // Attack sources: blocks in one region (say, botnet-heavy in Brazil
+    // and Argentina), each flooding at equal rate.
+    let attack_countries: Vec<_> = ["BR", "AR"]
+        .iter()
+        .map(|c| country_by_code(c).expect("known country").0)
+        .collect();
+    let attack_blocks: Vec<_> = world
+        .blocks
+        .iter()
+        .filter(|b| {
+            world
+                .geodb
+                .locate(b.block)
+                .is_some_and(|l| attack_countries.contains(&l.country))
+        })
+        .map(|b| b.block)
+        .collect();
+    println!(
+        "attack: {} source blocks in BR/AR flooding the service",
+        attack_blocks.len()
+    );
+
+    // Sweep prepending configurations; for each, measure catchments with
+    // Verfploeter and compute (a) where attack traffic lands, (b) how the
+    // legitimate load splits. The objective adapts to the deployment: pick
+    // the config that maximizes attack isolation at the non-primary site
+    // while not moving legitimate load more than 20 pp from the baseline.
+    println!(
+        "\n{:<10} {:>14} {:>14} {:>16}",
+        "config", "attack@MIA", "legit@LAX", "mapped blocks"
+    );
+    let mut baseline_legit: Option<f64> = None;
+    let mut best: Option<(String, f64)> = None;
+    for (label, p_lax, p_mia) in [
+        ("equal", 0u8, 0u8),
+        ("+1 MIA", 0, 1),
+        ("+2 MIA", 0, 2),
+        ("+1 LAX", 1, 0),
+        ("+2 LAX", 2, 0),
+    ] {
+        let mut ann = scenario.announcement.clone();
+        ann.set_prepend("LAX", p_lax).set_prepend("MIA", p_mia);
+        let routing = scenario.routing_for(&ann);
+        let scan = run_scan(
+            world,
+            &hitlist,
+            &ann,
+            Box::new(StaticOracle::new(routing)),
+            FaultConfig::default(),
+            SimTime::ZERO,
+            &ScanConfig {
+                name: format!("ddos-{label}"),
+                ..ScanConfig::default()
+            },
+            5,
+        );
+        // Attack isolation: fraction of attack blocks mapped to MIA.
+        let mapped_attack: Vec<_> = attack_blocks
+            .iter()
+            .filter_map(|b| scan.catchments.site_of(*b))
+            .collect();
+        let attack_at_mia = mapped_attack.iter().filter(|s| **s != lax).count() as f64
+            / mapped_attack.len().max(1) as f64;
+        // Legit load at LAX (load-weighted).
+        let legit_at_lax =
+            verfploeter_suite::vp::load::load_fraction_to(&scan.catchments, &legit, lax);
+        println!(
+            "{label:<10} {:>14} {:>14} {:>16}",
+            pct(attack_at_mia),
+            pct(legit_at_lax),
+            scan.catchments.len(),
+        );
+        let base = *baseline_legit.get_or_insert(legit_at_lax);
+        // Constraint: don't move legitimate load more than 20 pp from the
+        // current (equal) configuration. Objective: *separate* the traffic
+        // classes — attack concentrated at MIA while legitimate load stays
+        // at LAX (attack@MIA + legit@LAX - 1, positive = separated).
+        let separation = attack_at_mia + legit_at_lax - 1.0;
+        if (legit_at_lax - base).abs() <= 0.20
+            && best.as_ref().is_none_or(|(_, s)| separation > *s)
+        {
+            best = Some((label.to_owned(), separation));
+        }
+    }
+
+    match best {
+        Some((label, score)) => println!(
+            "\nchosen configuration: {label} — best attack/legitimate separation \
+             (index {score:+.2}) within the 20 pp legitimate-load budget",
+        ),
+        None => println!("\nno configuration met the legitimate-load constraint"),
+    }
+}

@@ -1,0 +1,89 @@
+//! Integration: the AS-prepending sweep (§6.1) measured end to end with
+//! actual scans, not by reading the routing tables.
+
+use verfploeter_suite::hitlist::{Hitlist, HitlistConfig};
+use verfploeter_suite::net::SimTime;
+use verfploeter_suite::sim::{FaultConfig, Scenario, StaticOracle};
+use verfploeter_suite::topology::TopologyConfig;
+use verfploeter_suite::vp::scan::{run_scan, ScanConfig};
+use verfploeter_suite::vp::ProbeConfig;
+
+#[test]
+fn prepending_shifts_measured_catchments_monotonically() {
+    let s = Scenario::broot(
+        TopologyConfig {
+            seed: 7006,
+            num_ases: 500,
+            max_blocks: 12_000,
+            ..TopologyConfig::default()
+        },
+        7,
+    );
+    let hl = Hitlist::from_internet(&s.world, &HitlistConfig::default());
+    let lax = s.announcement.site_by_name("LAX").unwrap().id;
+
+    let mut fracs = Vec::new();
+    for (i, (p_lax, p_mia)) in [(1u8, 0u8), (0, 0), (0, 1), (0, 2), (0, 3)]
+        .into_iter()
+        .enumerate()
+    {
+        let mut ann = s.announcement.clone();
+        ann.set_prepend("LAX", p_lax).set_prepend("MIA", p_mia);
+        let table = s.routing_for(&ann);
+        let scan = run_scan(
+            &s.world,
+            &hl,
+            &ann,
+            Box::new(StaticOracle::new(table)),
+            FaultConfig::none(),
+            SimTime::ZERO,
+            &ScanConfig {
+                name: format!("prep{i}"),
+                probe: ProbeConfig {
+                    ident: 300 + i as u16,
+                    ..ProbeConfig::default()
+                },
+                ..ScanConfig::default()
+            },
+            700 + i as u64,
+        );
+        fracs.push(scan.catchments.fraction_to(lax));
+    }
+    // Monotone toward LAX with a little tolerance for measurement noise.
+    for w in fracs.windows(2) {
+        assert!(
+            w[0] <= w[1] + 0.01,
+            "sweep not monotone: {fracs:?}"
+        );
+    }
+    // Prepending must move something end to end.
+    assert!(
+        fracs.last().unwrap() - fracs.first().unwrap() > 0.1,
+        "sweep too flat: {fracs:?}"
+    );
+    // A residual sticks with MIA even at +3 (host customers and
+    // prepend-ignoring ASes).
+    assert!(*fracs.last().unwrap() < 1.0, "MIA fully drained");
+}
+
+#[test]
+fn disabling_a_site_is_visible_end_to_end() {
+    let s = Scenario::broot(TopologyConfig::tiny(7007), 7);
+    let hl = Hitlist::from_internet(&s.world, &HitlistConfig::default());
+    let lax = s.announcement.site_by_name("LAX").unwrap().id;
+    let mut ann = s.announcement.clone();
+    ann.set_enabled("MIA", false);
+    let table = s.routing_for(&ann);
+    let scan = run_scan(
+        &s.world,
+        &hl,
+        &ann,
+        Box::new(StaticOracle::new(table)),
+        FaultConfig::none(),
+        SimTime::ZERO,
+        &ScanConfig::default(),
+        71,
+    );
+    assert!((scan.catchments.fraction_to(lax) - 1.0).abs() < 1e-12);
+    assert_eq!(scan.catchments.site_counts().len(), 1);
+}

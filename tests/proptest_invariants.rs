@@ -1,0 +1,142 @@
+//! Cross-crate property tests: invariants that must hold over randomly
+//! seeded worlds, deployments and measurement rounds.
+
+use proptest::prelude::*;
+use verfploeter_suite::hitlist::{Hitlist, HitlistConfig};
+use verfploeter_suite::net::SimTime;
+use verfploeter_suite::sim::{FaultConfig, Scenario, StaticOracle};
+use verfploeter_suite::topology::TopologyConfig;
+use verfploeter_suite::vp::scan::{run_scan, ScanConfig};
+
+fn tiny_world(seed: u64) -> TopologyConfig {
+    TopologyConfig {
+        seed,
+        num_ases: 80,
+        num_tier1: 4,
+        max_blocks: 1200,
+        max_prefixes_per_as: 30,
+        max_blocks_per_prefix: 16,
+        ..TopologyConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any world + any policy seed: every AS routes, every PoP maps to an
+    /// active site, and the catchment fractions sum to one.
+    #[test]
+    fn routing_total_and_partitioned(world_seed in 0u64..5000, policy_seed in any::<u64>()) {
+        let s = Scenario::broot(tiny_world(world_seed), policy_seed);
+        let table = s.routing();
+        prop_assert!(table.per_as.iter().all(Option::is_some));
+        prop_assert!(table.per_pop_site.iter().all(Option::is_some));
+        let frac: f64 = s
+            .announcement
+            .sites
+            .iter()
+            .map(|site| {
+                table
+                    .per_as
+                    .iter()
+                    .flatten()
+                    .filter(|r| r.selected_site() == site.id)
+                    .count() as f64
+            })
+            .sum();
+        prop_assert!((frac - table.per_as.len() as f64).abs() < 1e-9);
+    }
+
+    /// A fault-free scan maps exactly the responsive blocks whose hitlist
+    /// target is correct, each to its ground-truth site.
+    #[test]
+    fn scan_matches_ground_truth(world_seed in 0u64..5000, scan_seed in any::<u64>()) {
+        let s = Scenario::broot(tiny_world(world_seed), 7);
+        let hl = Hitlist::from_internet(
+            &s.world,
+            &HitlistConfig { wrong_addr_prob: 0.0, ..HitlistConfig::default() },
+        );
+        let table = s.routing();
+        let scan = run_scan(
+            &s.world,
+            &hl,
+            &s.announcement,
+            Box::new(StaticOracle::new(table.clone())),
+            FaultConfig::none(),
+            SimTime::ZERO,
+            &ScanConfig::default(),
+            scan_seed,
+        );
+        prop_assert_eq!(scan.catchments.len(), s.world.responsive_blocks().count());
+        for (block, site) in scan.catchments.iter() {
+            let info = s.world.block(block).unwrap();
+            prop_assert_eq!(Some(site), table.site_of_pop(info.pop));
+        }
+        prop_assert!(scan.cleaning.is_consistent());
+    }
+
+    /// Under arbitrary fault mixes, surviving observations are never wrong
+    /// and the cleaning ledger always balances.
+    #[test]
+    fn faults_never_corrupt_mappings(
+        world_seed in 0u64..2000,
+        dup in 0.0f64..0.5,
+        alias in 0.0f64..0.5,
+        late in 0.0f64..0.2,
+        loss in 0.0f64..0.3,
+    ) {
+        let s = Scenario::broot(tiny_world(world_seed), 7);
+        let hl = Hitlist::from_internet(&s.world, &HitlistConfig::default());
+        let table = s.routing();
+        let faults = FaultConfig {
+            duplicate_prob: dup,
+            max_duplicates: 20,
+            alias_prob: alias,
+            late_prob: late,
+            loss,
+            unsolicited_prob: 0.01,
+            ..FaultConfig::none()
+        };
+        let scan = run_scan(
+            &s.world,
+            &hl,
+            &s.announcement,
+            Box::new(StaticOracle::new(table.clone())),
+            faults,
+            SimTime::ZERO,
+            &ScanConfig::default(),
+            world_seed ^ 0x5ca9,
+        );
+        prop_assert!(scan.cleaning.is_consistent());
+        for (block, site) in scan.catchments.iter() {
+            let info = s.world.block(block).unwrap();
+            prop_assert_eq!(Some(site), table.site_of_pop(info.pop));
+        }
+    }
+
+    /// Catchment fractions over mapped blocks always sum to 1.
+    #[test]
+    fn measured_fractions_sum_to_one(world_seed in 0u64..5000) {
+        let s = Scenario::broot(tiny_world(world_seed), 7);
+        let hl = Hitlist::from_internet(&s.world, &HitlistConfig::default());
+        let scan = run_scan(
+            &s.world,
+            &hl,
+            &s.announcement,
+            Box::new(StaticOracle::new(s.routing())),
+            FaultConfig::default(),
+            SimTime::ZERO,
+            &ScanConfig::default(),
+            world_seed,
+        );
+        if !scan.catchments.is_empty() {
+            let total: f64 = s
+                .announcement
+                .sites
+                .iter()
+                .map(|site| scan.catchments.fraction_to(site.id))
+                .sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+}
