@@ -61,6 +61,27 @@ impl CatchmentMap {
         self.map.iter().map(|(b, s)| (*b, *s))
     }
 
+    /// Absorbs another map's entries (disjoint union).
+    ///
+    /// Inputs are expected to cover disjoint block sets — the per-shard
+    /// maps of one partitioned scan. Under that precondition the merge is
+    /// associative and order-insensitive, so any shard merge order yields
+    /// the same map.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `other` maps a block this map already
+    /// holds with a different site — that means the inputs were not
+    /// shards of one scan.
+    pub fn merge(&mut self, other: &CatchmentMap) {
+        for (block, site) in &other.map {
+            let prev = self.map.insert(*block, *site);
+            debug_assert!(
+                prev.is_none() || prev == Some(*site),
+                "merge inputs disagree on block {block}: {prev:?} vs {site:?}"
+            );
+        }
+    }
+
     /// Mapped blocks per site.
     pub fn site_counts(&self) -> BTreeMap<SiteId, usize> {
         let mut m = BTreeMap::new();

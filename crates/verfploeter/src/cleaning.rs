@@ -93,6 +93,23 @@ impl CleaningStats {
     pub fn is_consistent(&self) -> bool {
         self.total == self.duplicates + self.foreign + self.unprobed_source + self.late + self.kept
     }
+
+    /// Accumulates another pass's counters into this one.
+    ///
+    /// Used by the sharded scan path: each shard cleans its own slice of
+    /// the central stream, and because a reply can only ever compete with
+    /// replies for the same hitlist index (which all live in one shard),
+    /// the per-shard counters sum exactly to the serial pass's counters.
+    /// Field-wise addition is commutative and associative, so merge order
+    /// does not matter.
+    pub fn merge(&mut self, other: &CleaningStats) {
+        self.total += other.total;
+        self.duplicates += other.duplicates;
+        self.foreign += other.foreign;
+        self.unprobed_source += other.unprobed_source;
+        self.late += other.late;
+        self.kept += other.kept;
+    }
 }
 
 #[cfg(test)]

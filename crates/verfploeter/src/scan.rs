@@ -54,8 +54,12 @@ pub struct ScanResult {
 
 impl ScanResult {
     /// Blocks that were probed but produced no (usable) reply.
+    ///
+    /// Saturates at zero: a caller may pass the length of a *stale*
+    /// hitlist (e.g. the previous round's, shorter after block churn), and
+    /// a map can never meaningfully have negative non-responders.
     pub fn non_responding(&self, hitlist_len: usize) -> usize {
-        hitlist_len - self.catchments.len()
+        hitlist_len.saturating_sub(self.catchments.len())
     }
 
     /// Response rate over the hitlist.
@@ -117,6 +121,168 @@ pub fn run_scan(
         last_probe,
         rtts,
         sim_stats: sim.stats(),
+    }
+}
+
+/// Runs one full Verfploeter measurement partitioned over `shards`
+/// independent simulator engines on a thread pool, producing a
+/// [`ScanResult`] **bit-identical** to [`run_scan`] with the same inputs.
+///
+/// The hitlist is split into contiguous, block-ordered shards
+/// ([`Hitlist::shard_bounds`]); the global probe schedule is computed once
+/// (so every probe keeps its serial transmission time and payload index)
+/// and each shard's probes are replayed into a private engine seeded for
+/// that shard. Equivalence to the serial run rests on two invariants:
+///
+/// 1. **Order-independent fault draws.** Every stochastic outcome in
+///    [`vp_sim`] is a keyed hash of the round seed and the packet's
+///    identity, not a draw from a shared sequential stream — so an engine
+///    simulating a subset of the traffic makes exactly the decisions the
+///    serial engine makes for that subset.
+/// 2. **Shard-closed reply traffic.** A probe to hitlist index `i` can
+///    only produce replies attributed to index `i` (aliases stay inside
+///    the block; unsolicited traffic carries no payload and is always
+///    cleaned as foreign), so every reply lands in the engine that owns
+///    its index, per-shard cleaning sees the same competition between
+///    replies as the serial pass, and the per-shard maps/counters merge
+///    disjointly.
+///
+/// `make_oracle` builds one oracle per shard engine (each engine owns its
+/// oracle box); it must return equivalent oracles for equivalence to hold.
+/// Merging happens in shard-index order, though the merge itself is
+/// order-insensitive (disjoint unions and commutative sums).
+///
+/// # Panics
+/// Panics if `shards` is zero.
+pub fn run_scan_sharded(
+    world: &Internet,
+    hitlist: &Hitlist,
+    announcement: &Announcement,
+    make_oracle: &(dyn Fn() -> Box<dyn CatchmentOracle> + Sync),
+    faults: FaultConfig,
+    start: SimTime,
+    config: &ScanConfig,
+    sim_seed: u64,
+    shards: usize,
+) -> ScanResult {
+    assert!(shards > 0, "cannot scan with zero shards");
+    let source = announcement.measurement_addr();
+    let num_sites = announcement.sites.len();
+
+    // Global schedule, identical to the serial path: pacing and payload
+    // indices must not depend on the shard count.
+    let prober = Prober::new(config.probe.clone());
+    let probes = prober.schedule(hitlist, source, start);
+    let probes_sent = probes.len() as u64;
+    let last_probe = probes.last().map_or(start, |p| p.at);
+    let mut send_time = vec![SimTime::ZERO; hitlist.len()];
+    let mut per_shard: Vec<Vec<crate::prober::ScheduledProbe>> =
+        (0..shards).map(|_| Vec::new()).collect();
+    for p in probes {
+        send_time[p.index as usize] = p.at;
+        per_shard[hitlist.shard_of(p.index as usize, shards)].push(p);
+    }
+
+    // One engine per shard, executed on a worker pool bounded by the host's
+    // parallelism (a shard count far above the core count — even one per
+    // hitlist entry — must degrade gracefully, not spawn thousands of OS
+    // threads). Each engine gets the same round seed (keyed fault draws
+    // must agree with the serial engine) but a shard-distinct auxiliary
+    // RNG stream via `NetworkSim::new_shard`.
+    struct ShardOutcome {
+        catchments: CatchmentMap,
+        cleaning: CleaningStats,
+        rtts: Vec<(Block24, SimDuration)>,
+        sim_stats: vp_sim::SimStats,
+    }
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(shards);
+    let mut batches: Vec<Vec<(usize, Vec<crate::prober::ScheduledProbe>)>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    for (k, shard_probes) in per_shard.into_iter().enumerate() {
+        batches[k % workers].push((k, shard_probes));
+    }
+    let mut outcomes: Vec<(usize, ShardOutcome)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|batch| {
+                let faults = &faults;
+                let send_time = &send_time;
+                scope.spawn(move || {
+                    batch
+                        .into_iter()
+                        .map(|(k, shard_probes)| {
+                            let mut sim =
+                                NetworkSim::new_shard(world, faults.clone(), sim_seed, k as u64);
+                            let svc =
+                                sim.register_service(announcement.clone(), make_oracle(), false);
+                            for p in shard_probes {
+                                sim.send_at(p.at, p.packet);
+                            }
+                            sim.run();
+
+                            let captures = sim.take_captures(svc);
+                            let by_site = split_by_site(captures, num_sites);
+                            let central = forward_to_central(by_site);
+                            let (clean_replies, cleaning) = clean(
+                                &central,
+                                hitlist,
+                                config.probe.ident,
+                                start,
+                                config.cutoff,
+                            );
+                            let catchments =
+                                CatchmentMap::from_replies(&config.name, &clean_replies, hitlist);
+                            let rtts = clean_replies
+                                .iter()
+                                .map(|r| {
+                                    let block = hitlist.entry(r.index as usize).block;
+                                    (block, r.at.since(send_time[r.index as usize]))
+                                })
+                                .collect();
+                            (
+                                k,
+                                ShardOutcome {
+                                    catchments,
+                                    cleaning,
+                                    rtts,
+                                    sim_stats: sim.stats(),
+                                },
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("shard engine thread panicked"))
+            .collect()
+    });
+    outcomes.sort_by_key(|(k, _)| *k);
+
+    // Deterministic merge in shard-index order. The shards cover disjoint
+    // hitlist slices, so the unions are disjoint and the sums exact.
+    let mut catchments = CatchmentMap::from_pairs(&config.name, std::iter::empty());
+    let mut cleaning = CleaningStats::default();
+    let mut rtts = HashMap::new();
+    let mut sim_stats = vp_sim::SimStats::default();
+    for (_, o) in &outcomes {
+        catchments.merge(&o.catchments);
+        cleaning.merge(&o.cleaning);
+        rtts.extend(o.rtts.iter().copied());
+        sim_stats.merge(&o.sim_stats);
+    }
+
+    ScanResult {
+        catchments,
+        cleaning,
+        probes_sent,
+        started: start,
+        last_probe,
+        rtts,
+        sim_stats,
     }
 }
 
@@ -273,6 +439,56 @@ mod tests {
         );
         assert!(result.cleaning.kept > 0);
         assert_eq!(result.cleaning.foreign, 0);
+    }
+
+    /// Asserts every observable field of two scan results is bit-identical.
+    fn assert_results_identical(a: &ScanResult, b: &ScanResult) {
+        assert_eq!(a.cleaning, b.cleaning, "cleaning stats differ");
+        assert_eq!(a.probes_sent, b.probes_sent);
+        assert_eq!(a.started, b.started);
+        assert_eq!(a.last_probe, b.last_probe);
+        assert_eq!(a.catchments.len(), b.catchments.len(), "map sizes differ");
+        for (block, site) in a.catchments.iter() {
+            assert_eq!(b.catchments.site_of(block), Some(site), "block {block}");
+        }
+        assert_eq!(a.rtts.len(), b.rtts.len(), "rtt map sizes differ");
+        for (block, rtt) in &a.rtts {
+            assert_eq!(b.rtts.get(block), Some(rtt), "rtt of {block}");
+        }
+        assert_eq!(a.sim_stats, b.sim_stats, "sim stats differ");
+    }
+
+    /// The fast equivalence gate: on the tiny topology, the sharded scan
+    /// must reproduce the serial scan bit-for-bit under heavy faults, for
+    /// every shard count.
+    #[test]
+    fn sharded_scan_is_bit_identical_to_serial() {
+        let (s, hl) = setup();
+        let faults = FaultConfig::default();
+        let serial = run_scan(
+            &s.world,
+            &hl,
+            &s.announcement,
+            Box::new(StaticOracle::new(s.routing())),
+            faults.clone(),
+            SimTime::ZERO,
+            &ScanConfig::default(),
+            77,
+        );
+        for shards in [1, 2, 7, 16] {
+            let sharded = run_scan_sharded(
+                &s.world,
+                &hl,
+                &s.announcement,
+                &|| Box::new(StaticOracle::new(s.routing())),
+                faults.clone(),
+                SimTime::ZERO,
+                &ScanConfig::default(),
+                77,
+                shards,
+            );
+            assert_results_identical(&serial, &sharded);
+        }
     }
 
     #[test]

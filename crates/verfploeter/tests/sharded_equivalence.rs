@@ -1,0 +1,289 @@
+//! The determinism-proving harness for the sharded scan engine.
+//!
+//! The contract under test: `run_scan_sharded(K)` returns a `ScanResult`
+//! **bit-identical** to `run_scan` — same catchment map, same cleaning
+//! counters, same per-block RTTs, same simulator stats — for every shard
+//! count K and every fault configuration. A scan result that depends on
+//! how the work was scheduled would make parallel rounds incomparable to
+//! the serial datasets, so any divergence here is a release blocker.
+//!
+//! Alongside the end-to-end equivalence matrix, property tests check the
+//! algebra the merge relies on: disjoint-map merging and counter merging
+//! are associative and order-insensitive.
+
+use proptest::prelude::*;
+use vp_bgp::SiteId;
+use vp_hitlist::{Hitlist, HitlistConfig};
+use vp_net::{Block24, SimDuration, SimTime};
+use vp_sim::{FaultConfig, Scenario, StaticOracle};
+use vp_topology::TopologyConfig;
+use verfploeter::catchment::CatchmentMap;
+use verfploeter::cleaning::CleaningStats;
+use verfploeter::scan::{run_scan, run_scan_sharded, ScanConfig, ScanResult};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 7, 16];
+
+/// The fault grid the equivalence matrix sweeps: a clean channel, the
+/// defaults, and a deliberately hostile mix where every artifact class
+/// fires often enough to exercise every keyed draw in the engine.
+fn fault_grid() -> Vec<(&'static str, FaultConfig)> {
+    vec![
+        ("none", FaultConfig::none()),
+        ("default", FaultConfig::default()),
+        (
+            "hostile",
+            FaultConfig {
+                loss: 0.05,
+                duplicate_prob: 0.3,
+                max_duplicates: 50,
+                alias_prob: 0.2,
+                late_prob: 0.1,
+                late_delay: SimDuration::from_mins(20),
+                unsolicited_prob: 0.05,
+                churn_down_prob: 0.1,
+                churn_round: SimDuration::from_mins(15),
+            },
+        ),
+    ]
+}
+
+/// Field-by-field bit-equality between two scan results.
+fn assert_identical(serial: &ScanResult, sharded: &ScanResult, label: &str) {
+    assert_eq!(serial.cleaning, sharded.cleaning, "{label}: cleaning stats");
+    assert!(sharded.cleaning.is_consistent(), "{label}: inconsistent stats");
+    assert_eq!(serial.probes_sent, sharded.probes_sent, "{label}: probes");
+    assert_eq!(serial.started, sharded.started, "{label}: start");
+    assert_eq!(serial.last_probe, sharded.last_probe, "{label}: last probe");
+    assert_eq!(serial.sim_stats, sharded.sim_stats, "{label}: sim stats");
+    assert_eq!(
+        serial.catchments.len(),
+        sharded.catchments.len(),
+        "{label}: map size"
+    );
+    for (block, site) in serial.catchments.iter() {
+        assert_eq!(
+            sharded.catchments.site_of(block),
+            Some(site),
+            "{label}: catchment of {block}"
+        );
+    }
+    assert_eq!(serial.rtts.len(), sharded.rtts.len(), "{label}: rtt count");
+    for (block, rtt) in &serial.rtts {
+        assert_eq!(
+            sharded.rtts.get(block),
+            Some(rtt),
+            "{label}: rtt of {block}"
+        );
+    }
+}
+
+/// Runs the full equivalence matrix over one scenario.
+fn equivalence_matrix(scenario: &Scenario, hitlist: &Hitlist, seed: u64) {
+    for (fault_name, faults) in fault_grid() {
+        let serial = run_scan(
+            &scenario.world,
+            hitlist,
+            &scenario.announcement,
+            Box::new(StaticOracle::new(scenario.routing())),
+            faults.clone(),
+            SimTime::ZERO,
+            &ScanConfig::default(),
+            seed,
+        );
+        // Sanity: the hostile config must actually produce dirty data,
+        // otherwise the matrix is vacuous.
+        if fault_name == "hostile" {
+            assert!(serial.cleaning.duplicates > 0, "hostile grid too tame");
+            assert!(serial.cleaning.unprobed_source > 0, "no aliases injected");
+        }
+        for shards in SHARD_COUNTS {
+            let sharded = run_scan_sharded(
+                &scenario.world,
+                hitlist,
+                &scenario.announcement,
+                &|| Box::new(StaticOracle::new(scenario.routing())),
+                faults.clone(),
+                SimTime::ZERO,
+                &ScanConfig::default(),
+                seed,
+                shards,
+            );
+            assert_identical(&serial, &sharded, &format!("{fault_name}/K={shards}"));
+        }
+    }
+}
+
+/// sharded(K) == serial for K ∈ {1,2,7,16} on the two-site B-Root world,
+/// across the whole fault grid.
+#[test]
+fn broot_sharded_equals_serial_across_faults() {
+    let s = Scenario::broot(TopologyConfig::tiny(81), 7);
+    let hl = Hitlist::from_internet(&s.world, &HitlistConfig::default());
+    equivalence_matrix(&s, &hl, 0xe901);
+}
+
+/// The same matrix on the nine-site Tangled world — more sites means the
+/// per-site capture split and central merge are exercised harder.
+#[test]
+fn tangled_sharded_equals_serial_across_faults() {
+    let s = Scenario::tangled(TopologyConfig::tiny(82), 7);
+    let hl = Hitlist::from_internet(&s.world, &HitlistConfig::default());
+    equivalence_matrix(&s, &hl, 0xe902);
+}
+
+/// A shard count larger than the hitlist degenerates to empty shards and
+/// must still reproduce the serial result.
+#[test]
+fn more_shards_than_targets_still_identical() {
+    let s = Scenario::broot(TopologyConfig::tiny(83), 7);
+    let hl = Hitlist::from_internet(&s.world, &HitlistConfig::default());
+    let serial = run_scan(
+        &s.world,
+        &hl,
+        &s.announcement,
+        Box::new(StaticOracle::new(s.routing())),
+        FaultConfig::default(),
+        SimTime::ZERO,
+        &ScanConfig::default(),
+        3,
+    );
+    let sharded = run_scan_sharded(
+        &s.world,
+        &hl,
+        &s.announcement,
+        &|| Box::new(StaticOracle::new(s.routing())),
+        FaultConfig::default(),
+        SimTime::ZERO,
+        &ScanConfig::default(),
+        3,
+        hl.len() + 13,
+    );
+    assert_identical(&serial, &sharded, "K>len");
+}
+
+// ---------------------------------------------------------------------
+// Merge algebra: the properties the shard merge relies on.
+// ---------------------------------------------------------------------
+
+/// Builds `parts` disjoint catchment maps out of one generated entry set.
+fn disjoint_maps(entries: &[(u32, u8)], parts: usize) -> Vec<CatchmentMap> {
+    // Dedup blocks so the disjointness precondition holds.
+    let mut uniq: std::collections::BTreeMap<u32, u8> = std::collections::BTreeMap::new();
+    for &(b, s) in entries {
+        uniq.insert(b, s);
+    }
+    let uniq: Vec<(u32, u8)> = uniq.into_iter().collect();
+    let chunk = uniq.len().div_ceil(parts).max(1);
+    (0..parts)
+        .map(|k| {
+            let slice = uniq.iter().skip(k * chunk).take(chunk);
+            CatchmentMap::from_pairs(
+                "m",
+                slice.map(|&(b, s)| (Block24(b), SiteId(s))),
+            )
+        })
+        .collect()
+}
+
+fn maps_equal(a: &CatchmentMap, b: &CatchmentMap) -> bool {
+    a.len() == b.len() && a.iter().all(|(blk, site)| b.site_of(blk) == Some(site))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Merging disjoint catchment maps is associative:
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn catchment_merge_is_associative(
+        entries in prop::collection::vec((any::<u32>(), 0u8..9), 0..64),
+    ) {
+        let parts = disjoint_maps(&entries, 3);
+        let (a, b, c) = (&parts[0], &parts[1], &parts[2]);
+
+        let mut left = a.clone();
+        left.merge(b);
+        left.merge(c);
+
+        let mut bc = b.clone();
+        bc.merge(c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert!(maps_equal(&left, &right));
+    }
+
+    /// Merging disjoint catchment maps is order-insensitive: any
+    /// permutation of the shard order yields the same map.
+    #[test]
+    fn catchment_merge_is_order_insensitive(
+        entries in prop::collection::vec((any::<u32>(), 0u8..9), 0..64),
+        rot in 0usize..4,
+    ) {
+        let parts = disjoint_maps(&entries, 4);
+
+        let mut forward = CatchmentMap::from_pairs("m", std::iter::empty());
+        for p in &parts {
+            forward.merge(p);
+        }
+
+        let mut rotated = CatchmentMap::from_pairs("m", std::iter::empty());
+        for i in 0..parts.len() {
+            rotated.merge(&parts[(i + rot) % parts.len()]);
+        }
+
+        let mut reversed = CatchmentMap::from_pairs("m", std::iter::empty());
+        for p in parts.iter().rev() {
+            reversed.merge(p);
+        }
+
+        prop_assert!(maps_equal(&forward, &rotated));
+        prop_assert!(maps_equal(&forward, &reversed));
+    }
+
+    /// Cleaning-counter merging is associative and commutative, and
+    /// preserves the per-pass consistency invariant.
+    #[test]
+    fn cleaning_merge_is_associative_and_commutative(
+        counts in prop::collection::vec(((0u64..500, 0u64..500), (0u64..500, 0u64..500), 0u64..500), 1..6),
+    ) {
+        let stats: Vec<CleaningStats> = counts
+            .iter()
+            .map(|&((d, f), (u, l), k)| CleaningStats {
+                total: d + f + u + l + k,
+                duplicates: d,
+                foreign: f,
+                unprobed_source: u,
+                late: l,
+                kept: k,
+            })
+            .collect();
+
+        // Forward fold.
+        let mut forward = CleaningStats::default();
+        for s in &stats {
+            forward.merge(s);
+        }
+        // Reverse fold.
+        let mut reverse = CleaningStats::default();
+        for s in stats.iter().rev() {
+            reverse.merge(s);
+        }
+        prop_assert_eq!(forward, reverse);
+        prop_assert!(forward.is_consistent());
+
+        // Associativity on the first three (pad with defaults).
+        let a = *stats.first().unwrap_or(&CleaningStats::default());
+        let b = *stats.get(1).unwrap_or(&CleaningStats::default());
+        let c = *stats.get(2).unwrap_or(&CleaningStats::default());
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+    }
+}

@@ -1,0 +1,69 @@
+//! Sharded vs serial scan wall-clock: the payoff side of the tentpole.
+//!
+//! The equivalence suite (`crates/verfploeter/tests/sharded_equivalence.rs`)
+//! proves sharded(K) == serial bit-for-bit; this bench measures what the
+//! sharding buys. On a multi-core host the K-engine scan should beat the
+//! serial engine roughly linearly until K exceeds the core count. Even on
+//! one core sharding is not pure overhead: K small event heaps and K small
+//! dedup sets replace one big heap and one big set, so the serial-vs-K=1
+//! gap isolates the fixed sharding cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vp_bench::{bench_hitlist, bench_scenario};
+use vp_net::SimTime;
+use vp_sim::{CatchmentOracle, FaultConfig, StaticOracle};
+use verfploeter::scan::{run_scan, run_scan_sharded, ScanConfig};
+
+fn bench_scan_sharded(c: &mut Criterion) {
+    let s = bench_scenario(11);
+    let hl = bench_hitlist(&s);
+    let table = s.routing();
+
+    let mut g = c.benchmark_group("scan_sharded");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.throughput(Throughput::Elements(hl.len() as u64));
+
+    g.bench_function("serial_15k_targets", |b| {
+        b.iter(|| {
+            let result = run_scan(
+                &s.world,
+                &hl,
+                &s.announcement,
+                Box::new(StaticOracle::new(table.clone())),
+                FaultConfig::default(),
+                SimTime::ZERO,
+                &ScanConfig::default(),
+                1,
+            );
+            black_box(result.catchments.len())
+        })
+    });
+
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("sharded_15k_targets", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let result = run_scan_sharded(
+                        &s.world,
+                        &hl,
+                        &s.announcement,
+                        &|| Box::new(StaticOracle::new(table.clone())) as Box<dyn CatchmentOracle>,
+                        FaultConfig::default(),
+                        SimTime::ZERO,
+                        &ScanConfig::default(),
+                        1,
+                        shards,
+                    );
+                    black_box(result.catchments.len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan_sharded);
+criterion_main!(benches);

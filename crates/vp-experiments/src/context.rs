@@ -10,10 +10,10 @@ use vp_bgp::Announcement;
 use vp_dns::{LoadModel, QueryLog};
 use vp_hitlist::{Hitlist, HitlistConfig};
 use vp_net::{SimDuration, SimTime};
-use vp_sim::{FaultConfig, FlippingOracle, Scenario, StaticOracle};
+use vp_sim::{CatchmentOracle, FaultConfig, FlippingOracle, Scenario, StaticOracle};
 use vp_topology::TopologyConfig;
 use verfploeter::catchment::CatchmentMap;
-use verfploeter::scan::{run_scan, ScanConfig, ScanResult};
+use verfploeter::scan::{run_scan, run_scan_sharded, ScanConfig, ScanResult};
 use verfploeter::ProbeConfig;
 
 /// World sizes. `Default` runs every experiment in minutes in release
@@ -75,6 +75,12 @@ impl Scale {
             _ => 96,
         }
     }
+}
+
+/// Shard count for the parallel scan path: one engine per available core.
+/// Results are shard-count-invariant, so this only affects wall-clock.
+fn scan_shards() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 const BROOT_TOPO_SEED: u64 = 0xB007;
@@ -248,15 +254,19 @@ impl Lab {
             },
             cutoff: SimDuration::from_mins(15),
         };
-        let result = Rc::new(run_scan(
+        // The sharded path is bit-identical to the serial one (see
+        // `verfploeter::scan::run_scan_sharded`), so experiments get the
+        // wall-clock win for free without changing any published number.
+        let result = Rc::new(run_scan_sharded(
             &scenario.world,
             hitlist,
             announcement,
-            Box::new(StaticOracle::new(table)),
+            &|| Box::new(StaticOracle::new(table.clone())) as Box<dyn CatchmentOracle>,
             FaultConfig::default(),
             SimTime::ZERO,
             &config,
             0x51ed ^ ident as u64,
+            scan_shards(),
         ));
         self.vp_scans
             .borrow_mut()

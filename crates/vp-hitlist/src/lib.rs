@@ -110,6 +110,54 @@ impl Hitlist {
             .map(|i| self.entries[i])
     }
 
+    /// Partitions the hitlist into `shards` disjoint contiguous index
+    /// ranges in stable block order, together covering `0..len()`.
+    ///
+    /// Sizes differ by at most one (the first `len % shards` ranges get
+    /// the extra entry), so the partition is a pure function of
+    /// `(len, shards)` — every caller computes the same bounds, which the
+    /// sharded scan path relies on to reproduce serial runs exactly.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn shard_bounds(&self, shards: usize) -> Vec<std::ops::Range<usize>> {
+        assert!(shards > 0, "cannot shard into zero parts");
+        let n = self.entries.len();
+        let base = n / shards;
+        let rem = n % shards;
+        let mut out = Vec::with_capacity(shards);
+        let mut start = 0;
+        for k in 0..shards {
+            let len = base + usize::from(k < rem);
+            out.push(start..start + len);
+            start += len;
+        }
+        debug_assert_eq!(start, n);
+        out
+    }
+
+    /// The shard (under [`Hitlist::shard_bounds`] with the same `shards`)
+    /// that owns hitlist index `index`.
+    pub fn shard_of(&self, index: usize, shards: usize) -> usize {
+        assert!(shards > 0, "cannot shard into zero parts");
+        assert!(index < self.entries.len(), "index out of range");
+        let n = self.entries.len();
+        let base = n / shards;
+        let rem = n % shards;
+        let big = rem * (base + 1);
+        if index < big {
+            index / (base + 1)
+        } else {
+            rem + (index - big) / base
+        }
+    }
+
+    /// The entries of one shard, as produced by [`Hitlist::shard_bounds`].
+    pub fn shard_entries(&self, shards: usize, shard: usize) -> &[HitlistEntry] {
+        let bounds = self.shard_bounds(shards);
+        &self.entries[bounds[shard].clone()]
+    }
+
     /// Serializes to JSON (one array; stable order).
     pub fn to_json(&self) -> String {
         serde_json::to_string(&self.entries).expect("hitlist serializes")

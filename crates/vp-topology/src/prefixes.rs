@@ -94,7 +94,7 @@ pub fn allocate_prefixes<R: Rng>(
             // Stubs' first prefix skews small; otherwise sample the mix.
             let len = if round == 0 && graph.ases[i].tier == AsTier::Stub && rng.gen_bool(0.7) {
                 *[21u8, 22, 22, 23, 23, 24]
-                    .get(rng.gen_range(0..6))
+                    .get(rng.gen_range(0..6usize))
                     .expect("static index")
             } else {
                 lens[len_dist.sample(rng)]
@@ -127,7 +127,7 @@ pub fn populate_blocks<R: Rng>(
     rng: &mut R,
 ) -> Vec<Block24> {
     let total = info.prefix.block_count() as usize;
-    let density = rng.gen_range(0.25..0.95);
+    let density = rng.gen_range(0.25f64..0.95);
     let want = ((total as f64 * density).ceil() as usize)
         .clamp(1, cfg.max_blocks_per_prefix.min(total));
     if want == total {

@@ -1,0 +1,82 @@
+//! Minimal offline stand-in for `crossbeam`: the `channel::bounded`
+//! multi-producer channel used by the collector, layered over
+//! `std::sync::mpsc::sync_channel`.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half; clonable (multi-producer).
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    /// Error returned when the receiving side has hung up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking iterator until every sender is dropped.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.inner.recv()
+        }
+    }
+
+    /// A bounded channel with `cap` slots.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_in_from_threads() {
+            let (tx, rx) = bounded::<u64>(4);
+            std::thread::scope(|scope| {
+                for t in 0..3u64 {
+                    let tx = tx.clone();
+                    scope.spawn(move || {
+                        for i in 0..100 {
+                            tx.send(t * 1000 + i).unwrap();
+                        }
+                    });
+                }
+                drop(tx);
+                let mut got: Vec<u64> = rx.iter().collect();
+                got.sort_unstable();
+                assert_eq!(got.len(), 300);
+                assert_eq!(got[0], 0);
+                assert_eq!(*got.last().unwrap(), 2099);
+            });
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Minimal offline stand-in for `rand_pcg`: the PCG XSL RR 128/64
+//! generator ("Pcg64"), O'Neill 2014.
+//!
+//! Streams are deterministic per seed but not bit-compatible with the
+//! upstream crate; all golden data in this workspace is derived from this
+//! implementation.
+
+use rand::{RngCore, SeedableRng};
+
+const MULTIPLIER: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+/// PCG XSL RR 128/64: 128-bit LCG state, 64-bit xorshift-rotate output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg64 {
+    state: u128,
+    increment: u128,
+}
+
+impl Pcg64 {
+    /// Builds a generator from an initial state and stream id.
+    pub fn new(state: u128, stream: u128) -> Pcg64 {
+        let increment = (stream << 1) | 1;
+        let mut pcg = Pcg64 {
+            state: state.wrapping_add(increment),
+            increment,
+        };
+        pcg.step();
+        pcg
+    }
+
+    fn step(&mut self) {
+        self.state = self
+            .state
+            .wrapping_mul(MULTIPLIER)
+            .wrapping_add(self.increment);
+    }
+
+    fn output(&self) -> u64 {
+        let rot = (self.state >> 122) as u32;
+        let xsl = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xsl.rotate_right(rot)
+    }
+}
+
+impl RngCore for Pcg64 {
+    fn next_u64(&mut self) -> u64 {
+        self.step();
+        self.output()
+    }
+}
+
+impl SeedableRng for Pcg64 {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Pcg64 {
+        let state = u128::from_le_bytes(seed[..16].try_into().unwrap());
+        let stream = u128::from_le_bytes(seed[16..].try_into().unwrap());
+        Pcg64::new(state, stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Pcg64::seed_from_u64(42);
+        let mut b = Pcg64::seed_from_u64(42);
+        let mut c = Pcg64::seed_from_u64(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn streams_differ() {
+        let mut a = Pcg64::new(1, 1);
+        let mut b = Pcg64::new(1, 2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn reasonable_uniformity() {
+        let mut r = Pcg64::seed_from_u64(7);
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        let ones = (0..n).filter(|_| r.gen_bool(0.25)).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+    }
+}

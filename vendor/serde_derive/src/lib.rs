@@ -1,0 +1,363 @@
+//! `#[derive(Serialize, Deserialize)]` for the minimal serde stand-in.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (no syn/quote in
+//! this offline environment). Supports the shapes this workspace uses:
+//!
+//! * structs with named fields → JSON objects
+//! * tuple structs with one field (newtypes) → the inner value
+//!   (matching upstream's newtype behaviour and `#[serde(transparent)]`)
+//! * tuple structs with several fields → arrays
+//! * enums with unit variants only → variant-name strings
+//! * at most simple type generics (`<K: Ord>` style bounds)
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+struct Input {
+    name: String,
+    /// Raw generic parameter text, e.g. `K: Ord` (empty when non-generic).
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    Named(Vec<String>),
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let item_kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    // Optional generics.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut current = String::new();
+            while depth > 0 {
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        depth += 1;
+                        current.push('<');
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth > 0 {
+                            current.push('>');
+                        }
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                        generics.push(current.trim().to_owned());
+                        current = String::new();
+                    }
+                    Some(t) => {
+                        current.push_str(&t.to_string());
+                        current.push(' ');
+                    }
+                    None => panic!("serde_derive: unterminated generics on {name}"),
+                }
+                i += 1;
+            }
+            if !current.trim().is_empty() {
+                generics.push(current.trim().to_owned());
+            }
+        }
+    }
+
+    let kind = match item_kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde_derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::UnitEnum(parse_unit_variants(g.stream(), &name))
+            }
+            other => panic!("serde_derive: expected enum body for {name}, got {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for {other}"),
+    };
+
+    Input { name, generics, kind }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        // Field name, then `: Type` up to the next top-level comma.
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        fields.push(fname);
+        i += 1;
+        // Expect ':'.
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected ':' after field, got {other:?}"),
+        }
+        // Skip the type, angle-depth aware (commas inside `<...>` belong
+        // to the type, e.g. BTreeMap<K, V>).
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+/// Variant names of a unit-only enum body.
+fn parse_unit_variants(body: TokenStream, name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                    panic!(
+                        "serde_derive: enum {name} has a non-unit variant; \
+                         only unit enums are supported by this stand-in"
+                    );
+                }
+                // `= discriminant` would also be unsupported.
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == '=' {
+                        panic!("serde_derive: enum {name} has explicit discriminants");
+                    }
+                }
+            }
+            other => panic!("serde_derive: unexpected token in enum {name}: {other:?}"),
+        }
+    }
+    variants
+}
+
+/// `(impl_generics, type_args)` with `extra_bound` appended to each param.
+fn generics_for(input: &Input, extra_bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let mut impl_params = Vec::new();
+    let mut args = Vec::new();
+    for p in &input.generics {
+        let (name, bounds) = match p.split_once(':') {
+            Some((n, b)) => (n.trim(), b.trim()),
+            None => (p.trim(), ""),
+        };
+        args.push(name.to_owned());
+        if bounds.is_empty() {
+            impl_params.push(format!("{name}: {extra_bound}"));
+        } else {
+            impl_params.push(format!("{name}: {bounds} + {extra_bound}"));
+        }
+    }
+    (format!("<{}>", impl_params.join(", ")), format!("<{}>", args.join(", ")))
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let (ig, ta) = generics_for(&input, "::serde::Serialize");
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            let mut s = String::from("let mut m = ::std::collections::BTreeMap::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Kind::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\""))
+                .collect();
+            format!(
+                "::serde::Value::Str(match self {{ {} }}.to_string())",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl {ig} ::serde::Serialize for {name} {ta} {{\n\
+            fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let (ig, ta) = generics_for(&input, "::serde::Deserialize");
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            let mut s = format!(
+                "let m = match v {{ ::serde::Value::Object(m) => m, other => return \
+                 ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"expected object for {name}, found {{:?}}\", other))) }};\n"
+            );
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                     m.get(\"{f}\").unwrap_or(&::serde::Value::Null)).map_err(|e| \
+                     ::serde::Error::msg(format!(\"{name}.{f}: {{e}}\")))?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Kind::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Tuple(n) => {
+            let mut s = format!(
+                "let a = match v {{ ::serde::Value::Array(a) => a, other => return \
+                 ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"expected array for {name}, found {{:?}}\", other))) }};\n\
+                 if a.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"wrong tuple arity for {name}\")); }}\n"
+            );
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                .collect();
+            s.push_str(&format!(
+                "::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            ));
+            s
+        }
+        Kind::UnitEnum(variants) => {
+            let mut s = format!(
+                "let s = match v {{ ::serde::Value::Str(s) => s, other => return \
+                 ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"expected string for {name}, found {{:?}}\", other))) }};\n\
+                 match s.as_str() {{\n"
+            );
+            for var in variants {
+                s.push_str(&format!(
+                    "\"{var}\" => ::std::result::Result::Ok({name}::{var}),\n"
+                ));
+            }
+            s.push_str(&format!(
+                "other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"unknown {name} variant {{other:?}}\"))),\n}}"
+            ));
+            s
+        }
+    };
+    format!(
+        "impl {ig} ::serde::Deserialize for {name} {ta} {{\n\
+            fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                {body}\n\
+            }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl parses")
+}
