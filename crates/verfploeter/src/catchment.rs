@@ -1,6 +1,6 @@
 //! The catchment map: block → anycast site.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use vp_bgp::SiteId;
@@ -11,20 +11,24 @@ use crate::cleaning::CleanReply;
 
 /// The product of one Verfploeter measurement: for every responding block,
 /// the anycast site its reply arrived at.
+///
+/// Entries are stored in block order, so iteration — and the serialized
+/// [`CatchmentMap::to_json`] dataset — is canonical: two equal maps always
+/// produce byte-identical JSON.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CatchmentMap {
     /// Dataset tag, e.g. "SBV-5-15".
     pub name: String,
-    map: HashMap<Block24, SiteId>,
+    map: BTreeMap<Block24, SiteId>,
 }
 
 impl CatchmentMap {
     /// Folds cleaned replies into the map. Cleaning guarantees one reply
     /// per hitlist index, hence one entry per block.
     pub fn from_replies(name: &str, replies: &[CleanReply], hitlist: &Hitlist) -> CatchmentMap {
-        let mut map = HashMap::with_capacity(replies.len());
+        let mut map = BTreeMap::new();
         for r in replies {
-            let block = hitlist.entry(r.index as usize).block;
+            let block = hitlist.entry(vp_net::conv::sat_usize(r.index)).block;
             map.insert(block, r.site);
         }
         CatchmentMap {
@@ -56,7 +60,7 @@ impl CatchmentMap {
         self.map.get(&block).copied()
     }
 
-    /// Iterates all `(block, site)` entries (unspecified order).
+    /// Iterates all `(block, site)` entries in ascending block order.
     pub fn iter(&self) -> impl Iterator<Item = (Block24, SiteId)> + '_ {
         self.map.iter().map(|(b, s)| (*b, *s))
     }
@@ -103,6 +107,7 @@ impl CatchmentMap {
     /// Serializes the dataset to JSON (the paper releases all its
     /// datasets; this is the equivalent open-data format).
     pub fn to_json(&self) -> String {
+        // vp-lint: allow(h2): serializing owned plain data with derived impls cannot fail.
         serde_json::to_string(self).expect("catchment map serializes")
     }
 

@@ -5,7 +5,7 @@
 //! minutes after the start of the measurement). Duplicates ... account for
 //! approximately 2% of all replies."
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 use vp_hitlist::Hitlist;
@@ -54,7 +54,7 @@ pub fn clean(
 ) -> (Vec<CleanReply>, CleaningStats) {
     let deadline = start + cutoff;
     let mut stats = CleaningStats::default();
-    let mut seen: HashSet<u64> = HashSet::new();
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
     let mut out = Vec::new();
     for r in replies {
         stats.total += 1;
@@ -66,7 +66,7 @@ pub fn clean(
             stats.foreign += 1;
             continue;
         }
-        if hitlist.entry(index as usize).target != r.src {
+        if hitlist.entry(vp_net::conv::sat_usize(index)).target != r.src {
             stats.unprobed_source += 1;
             continue;
         }

@@ -1,6 +1,6 @@
 //! Coverage accounting (Table 4) and geographic map data (Figs. 2–3).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 use vp_bgp::SiteId;
@@ -53,7 +53,7 @@ pub struct AtlasCoverage {
     pub vps_responding: u64,
     pub blocks_considered: u64,
     /// Blocks with at least one responding VP.
-    pub responding_blocks: HashSet<Block24>,
+    pub responding_blocks: BTreeSet<Block24>,
 }
 
 /// Computes Table 4 from one Verfploeter scan and one Atlas scan of the
@@ -64,7 +64,7 @@ pub fn coverage(
     geodb: &GeoDb,
     atlas: &AtlasCoverage,
 ) -> CoverageReport {
-    let vp_responding: HashSet<Block24> = catchments.iter().map(|(b, _)| b).collect();
+    let vp_responding: BTreeSet<Block24> = catchments.iter().map(|(b, _)| b).collect();
     let vp_no_location = vp_responding
         .iter()
         .filter(|b| geodb.locate(**b).is_none())
@@ -150,7 +150,7 @@ mod tests {
         let w = world();
         let hl = Hitlist::from_internet(&w, &HitlistConfig::default());
         let catchments = synthetic_catchments(&w, 500);
-        let atlas_blocks: HashSet<Block24> =
+        let atlas_blocks: BTreeSet<Block24> =
             w.blocks.iter().take(60).map(|b| b.block).collect();
         let atlas = AtlasCoverage {
             vps_considered: 80,
@@ -178,7 +178,7 @@ mod tests {
         let w = world();
         let hl = Hitlist::from_internet(&w, &HitlistConfig::default());
         let catchments = synthetic_catchments(&w, 100);
-        let atlas_blocks: HashSet<Block24> = w
+        let atlas_blocks: BTreeSet<Block24> = w
             .blocks
             .iter()
             .skip(200)

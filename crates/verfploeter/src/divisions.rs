@@ -7,10 +7,11 @@
 //! /15 are usually single-site but large prefixes split further (Fig. 8).
 //! Unstable VPs are removed first so flapping is not mistaken for a split.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 use vp_bgp::SiteId;
+use vp_net::conv;
 use vp_net::{Asn, Block24};
 use vp_topology::Internet;
 
@@ -32,9 +33,9 @@ pub struct AsDivision {
 pub fn as_divisions(
     catchments: &CatchmentMap,
     world: &Internet,
-    exclude: &HashSet<Block24>,
+    exclude: &BTreeSet<Block24>,
 ) -> Vec<AsDivision> {
-    let mut sites: BTreeMap<Asn, HashSet<SiteId>> = BTreeMap::new();
+    let mut sites: BTreeMap<Asn, BTreeSet<SiteId>> = BTreeMap::new();
     let mut blocks: BTreeMap<Asn, u32> = BTreeMap::new();
     for (block, site) in catchments.iter() {
         if exclude.contains(&block) {
@@ -50,7 +51,7 @@ pub fn as_divisions(
         .map(|(asn, s)| AsDivision {
             asn,
             announced_prefixes: world.announced_prefixes(asn),
-            sites_seen: s.len() as u32,
+            sites_seen: conv::sat_u32(s.len()),
             observed_blocks: blocks[&asn],
         })
         .collect()
@@ -86,9 +87,9 @@ pub fn fig7_rows(divisions: &[AsDivision]) -> Vec<Fig7Row> {
     by_sites
         .into_iter()
         .map(|(sites, mut counts)| {
-            counts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            counts.sort_by(f64::total_cmp);
             let pct = |p: f64| -> f64 {
-                let idx = ((counts.len() - 1) as f64 * p).round() as usize;
+                let idx = conv::index(conv::sat_f64_to_u32(((counts.len() - 1) as f64 * p).round()));
                 counts[idx]
             };
             Fig7Row {
@@ -119,23 +120,23 @@ pub struct Fig8Row {
 pub fn fig8_rows(
     catchments: &CatchmentMap,
     world: &Internet,
-    exclude: &HashSet<Block24>,
+    exclude: &BTreeSet<Block24>,
     max_sites: usize,
 ) -> Vec<Fig8Row> {
     // Per announced prefix: distinct sites and observed block count.
-    let mut per_prefix: Vec<(HashSet<SiteId>, u32)> =
-        vec![(HashSet::new(), 0); world.prefixes.len()];
+    let mut per_prefix: Vec<(BTreeSet<SiteId>, u32)> =
+        vec![(BTreeSet::new(), 0); world.prefixes.len()];
     for (block, site) in catchments.iter() {
         if exclude.contains(&block) {
             continue;
         }
         if let Some(info) = world.block(block) {
-            let slot = &mut per_prefix[info.prefix_idx as usize];
+            let slot = &mut per_prefix[conv::index(info.prefix_idx)];
             slot.0.insert(site);
             slot.1 += 1;
         }
     }
-    let mut grouped: BTreeMap<u8, Vec<&(HashSet<SiteId>, u32)>> = BTreeMap::new();
+    let mut grouped: BTreeMap<u8, Vec<&(BTreeSet<SiteId>, u32)>> = BTreeMap::new();
     for (i, slot) in per_prefix.iter().enumerate() {
         if slot.1 == 0 {
             continue;
@@ -190,8 +191,8 @@ mod tests {
     #[test]
     fn divisions_cover_all_observed_ases() {
         let (s, map) = scenario();
-        let divs = as_divisions(&map, &s.world, &HashSet::new());
-        let observed_ases: HashSet<Asn> = map
+        let divs = as_divisions(&map, &s.world, &BTreeSet::new());
+        let observed_ases: BTreeSet<Asn> = map
             .iter()
             .filter_map(|(b, _)| s.world.block(b).map(|i| i.origin))
             .collect();
@@ -206,7 +207,7 @@ mod tests {
     #[test]
     fn some_ases_split_and_fraction_in_range() {
         let (s, map) = scenario();
-        let divs = as_divisions(&map, &s.world, &HashSet::new());
+        let divs = as_divisions(&map, &s.world, &BTreeSet::new());
         let frac = split_as_fraction(&divs);
         assert!(frac > 0.0, "no split ASes in nine-site world");
         assert!(frac < 1.0);
@@ -215,7 +216,7 @@ mod tests {
     #[test]
     fn excluding_blocks_removes_observations() {
         let (s, map) = scenario();
-        let all: HashSet<Block24> = map.iter().map(|(b, _)| b).collect();
+        let all: BTreeSet<Block24> = map.iter().map(|(b, _)| b).collect();
         let divs = as_divisions(&map, &s.world, &all);
         assert!(divs.is_empty());
     }
@@ -223,7 +224,7 @@ mod tests {
     #[test]
     fn fig7_percentiles_are_ordered() {
         let (s, map) = scenario();
-        let divs = as_divisions(&map, &s.world, &HashSet::new());
+        let divs = as_divisions(&map, &s.world, &BTreeSet::new());
         let rows = fig7_rows(&divs);
         assert!(!rows.is_empty());
         let total: usize = rows.iter().map(|r| r.ases).sum();
@@ -239,7 +240,7 @@ mod tests {
     fn fig7_split_ases_announce_more_prefixes() {
         // The paper's correlation: more announced prefixes -> more sites.
         let (s, map) = scenario();
-        let divs = as_divisions(&map, &s.world, &HashSet::new());
+        let divs = as_divisions(&map, &s.world, &BTreeSet::new());
         let rows = fig7_rows(&divs);
         if rows.len() >= 2 {
             let first = &rows[0];
@@ -254,7 +255,7 @@ mod tests {
     #[test]
     fn fig8_fractions_sum_to_one_per_length() {
         let (s, map) = scenario();
-        let rows = fig8_rows(&map, &s.world, &HashSet::new(), 9);
+        let rows = fig8_rows(&map, &s.world, &BTreeSet::new(), 9);
         assert!(!rows.is_empty());
         for r in &rows {
             let sum: f64 = r.fractions.iter().sum();
@@ -267,7 +268,7 @@ mod tests {
     #[test]
     fn fig8_sees_multi_site_prefixes_and_counts_match() {
         let (s, map) = scenario();
-        let rows = fig8_rows(&map, &s.world, &HashSet::new(), 9);
+        let rows = fig8_rows(&map, &s.world, &BTreeSet::new(), 9);
         let multi: f64 = rows
             .iter()
             .map(|r| (1.0 - r.fractions[0]) * r.prefixes as f64)

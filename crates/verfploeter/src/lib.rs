@@ -42,6 +42,8 @@
 //! * [`report`] — plain-text table rendering used by the experiment
 //!   binaries.
 
+#![deny(unused_must_use)]
+
 pub mod catchment;
 pub mod cleaning;
 pub mod collector;

@@ -7,11 +7,12 @@
 //! poorly served; clustering them by country, weighted by their query load,
 //! ranks the places where a new site would help most.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use vp_dns::QueryLog;
 use vp_geo::{CountryId, GeoDb};
+use vp_net::conv;
 use vp_net::{Block24, SimDuration};
 
 /// One candidate location for a new site.
@@ -30,7 +31,7 @@ pub struct PlacementSuggestion {
 /// capture. `threshold` marks a block as badly served; `load` (optional)
 /// weights blocks by their query volume; `top` limits the result length.
 pub fn suggest_sites(
-    rtts: &HashMap<Block24, SimDuration>,
+    rtts: &BTreeMap<Block24, SimDuration>,
     geodb: &GeoDb,
     load: Option<&QueryLog>,
     threshold: SimDuration,
@@ -40,7 +41,7 @@ pub fn suggest_sites(
         rtts: Vec<SimDuration>,
         queries: f64,
     }
-    let mut per_country: HashMap<CountryId, Acc> = HashMap::new();
+    let mut per_country: BTreeMap<CountryId, Acc> = BTreeMap::new();
     for (&block, &rtt) in rtts {
         if rtt < threshold {
             continue;
@@ -70,10 +71,9 @@ pub fn suggest_sites(
     // Rank by affected traffic when a log is present, else by block count;
     // country id breaks ties deterministically.
     out.sort_by(|a, b| {
-        let ka = (a.affected_queries, a.high_rtt_blocks);
-        let kb = (b.affected_queries, b.high_rtt_blocks);
-        kb.partial_cmp(&ka)
-            .expect("finite")
+        b.affected_queries
+            .total_cmp(&a.affected_queries)
+            .then(b.high_rtt_blocks.cmp(&a.high_rtt_blocks))
             .then(a.country.cmp(&b.country))
     });
     out.truncate(top);
@@ -82,15 +82,16 @@ pub fn suggest_sites(
 
 /// Summary RTT statistics of a scan: `(p50, p90, max)` over mapped blocks.
 pub fn rtt_percentiles(
-    rtts: &HashMap<Block24, SimDuration>,
+    rtts: &BTreeMap<Block24, SimDuration>,
 ) -> Option<(SimDuration, SimDuration, SimDuration)> {
     if rtts.is_empty() {
         return None;
     }
     let mut v: Vec<SimDuration> = rtts.values().copied().collect();
     v.sort_unstable();
-    let p90 = ((v.len() as f64 * 0.9) as usize).min(v.len() - 1);
-    Some((v[v.len() / 2], v[p90], *v.last().expect("non-empty")))
+    let p90 = conv::index(conv::sat_f64_to_u32(v.len() as f64 * 0.9)).min(v.len() - 1);
+    let last = *v.last()?;
+    Some((v[v.len() / 2], v[p90], last))
 }
 
 #[cfg(test)]
@@ -114,7 +115,7 @@ mod tests {
         db
     }
 
-    fn rtts(ms_by_block: &[(u32, u64)]) -> HashMap<Block24, SimDuration> {
+    fn rtts(ms_by_block: &[(u32, u64)]) -> BTreeMap<Block24, SimDuration> {
         ms_by_block
             .iter()
             .map(|&(b, ms)| (Block24(b), SimDuration::from_millis(ms)))
@@ -174,6 +175,6 @@ mod tests {
         let (p50, p90, max) = rtt_percentiles(&r).unwrap();
         assert!(p50 <= p90 && p90 <= max);
         assert_eq!(max, SimDuration::from_millis(1000));
-        assert!(rtt_percentiles(&HashMap::new()).is_none());
+        assert!(rtt_percentiles(&BTreeMap::new()).is_none());
     }
 }

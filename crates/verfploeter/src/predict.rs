@@ -65,7 +65,7 @@ pub fn hourly_prediction(
         }
         let site = catchments.site_of(b.block);
         for (h, slot) in hours.iter_mut().enumerate() {
-            *slot.entry(site).or_insert(0.0) += log.hourly_by_idx(i, h as u32) / 3600.0;
+            *slot.entry(site).or_insert(0.0) += log.hourly_by_idx(i, vp_net::conv::sat_u32(h)) / 3600.0;
         }
     }
     hours

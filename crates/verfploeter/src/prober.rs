@@ -89,14 +89,14 @@ impl Prober {
         let mut out = Vec::with_capacity(hitlist.len());
         for i in 0..n {
             let index = perm.permute(i);
-            let entry = hitlist.entry(index as usize);
+            let entry = hitlist.entry(vp_net::conv::sat_usize(index));
             // Advance to the next admission slot.
             t = bucket.next_available(t);
             let admitted = bucket.try_acquire(t);
             debug_assert!(admitted, "token bucket must admit at next_available");
             let icmp = IcmpMessage::echo_request(
                 self.config.ident,
-                (index & 0xffff) as u16,
+                vp_net::conv::sat_u16(index & 0xffff),
                 Self::encode_payload(index),
             );
             let mut packet = Ipv4Packet::new(source, entry.target, Protocol::Icmp, icmp.emit());

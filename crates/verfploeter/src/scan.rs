@@ -1,9 +1,10 @@
 //! A full Verfploeter measurement: probe → capture → forward → clean → map.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vp_bgp::Announcement;
 use vp_hitlist::Hitlist;
+use vp_net::conv;
 use vp_net::{Block24, SimDuration, SimTime};
 use vp_sim::{CatchmentOracle, FaultConfig, NetworkSim};
 use vp_topology::Internet;
@@ -47,7 +48,8 @@ pub struct ScanResult {
     /// Round-trip time per mapped block (probe transmission to reply
     /// arrival at the capturing site). The paper's §7 notes these RTTs
     /// "can be used to suggest where new anycast sites would be helpful".
-    pub rtts: HashMap<Block24, SimDuration>,
+    /// Keyed in block order so downstream reports iterate deterministically.
+    pub rtts: BTreeMap<Block24, SimDuration>,
     /// Simulator counters for the round.
     pub sim_stats: vp_sim::SimStats,
 }
@@ -94,7 +96,7 @@ pub fn run_scan(
     let last_probe = probes.last().map_or(start, |p| p.at);
     let mut send_time = vec![SimTime::ZERO; hitlist.len()];
     for p in probes {
-        send_time[p.index as usize] = p.at;
+        send_time[conv::sat_usize(p.index)] = p.at;
         sim.send_at(p.at, p.packet);
     }
     sim.run();
@@ -108,8 +110,8 @@ pub fn run_scan(
     let rtts = clean_replies
         .iter()
         .map(|r| {
-            let block = hitlist.entry(r.index as usize).block;
-            (block, r.at.since(send_time[r.index as usize]))
+            let block = hitlist.entry(conv::sat_usize(r.index)).block;
+            (block, r.at.since(send_time[conv::sat_usize(r.index)]))
         })
         .collect();
 
@@ -179,8 +181,8 @@ pub fn run_scan_sharded(
     let mut per_shard: Vec<Vec<crate::prober::ScheduledProbe>> =
         (0..shards).map(|_| Vec::new()).collect();
     for p in probes {
-        send_time[p.index as usize] = p.at;
-        per_shard[hitlist.shard_of(p.index as usize, shards)].push(p);
+        send_time[conv::sat_usize(p.index)] = p.at;
+        per_shard[hitlist.shard_of(conv::sat_usize(p.index), shards)].push(p);
     }
 
     // One engine per shard, executed on a worker pool bounded by the host's
@@ -237,8 +239,8 @@ pub fn run_scan_sharded(
                             let rtts = clean_replies
                                 .iter()
                                 .map(|r| {
-                                    let block = hitlist.entry(r.index as usize).block;
-                                    (block, r.at.since(send_time[r.index as usize]))
+                                    let block = hitlist.entry(conv::sat_usize(r.index)).block;
+                                    (block, r.at.since(send_time[conv::sat_usize(r.index)]))
                                 })
                                 .collect();
                             (
@@ -257,6 +259,7 @@ pub fn run_scan_sharded(
             .collect();
         handles
             .into_iter()
+            // vp-lint: allow(h2): a worker panic must propagate, not be swallowed.
             .flat_map(|h| h.join().expect("shard engine thread panicked"))
             .collect()
     });
@@ -266,7 +269,7 @@ pub fn run_scan_sharded(
     // hitlist slices, so the unions are disjoint and the sums exact.
     let mut catchments = CatchmentMap::from_pairs(&config.name, std::iter::empty());
     let mut cleaning = CleaningStats::default();
-    let mut rtts = HashMap::new();
+    let mut rtts = BTreeMap::new();
     let mut sim_stats = vp_sim::SimStats::default();
     for (_, o) in &outcomes {
         catchments.merge(&o.catchments);

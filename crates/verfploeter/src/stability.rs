@@ -7,9 +7,10 @@
 //! Flips are rare (~0.1% per round) but concentrated: one AS contributes
 //! half of them.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
+use vp_net::conv;
 use vp_net::{Asn, Block24};
 use vp_topology::Internet;
 
@@ -35,7 +36,7 @@ pub fn classify_rounds(rounds: &[CatchmentMap]) -> Vec<RoundDelta> {
         .map(|(i, w)| {
             let (prev, cur) = (&w[0], &w[1]);
             let mut delta = RoundDelta {
-                round: i as u32 + 1,
+                round: conv::sat_u32(i) + 1,
                 stable: 0,
                 flipped: 0,
                 to_nr: 0,
@@ -56,18 +57,18 @@ pub fn classify_rounds(rounds: &[CatchmentMap]) -> Vec<RoundDelta> {
 
 /// Blocks that ever changed site across the rounds — the "unstable VPs"
 /// §6.2 removes before the AS-division analysis.
-pub fn unstable_blocks(rounds: &[CatchmentMap]) -> HashSet<Block24> {
-    let mut first_site: HashMap<Block24, vp_bgp::SiteId> = HashMap::new();
-    let mut unstable = HashSet::new();
+pub fn unstable_blocks(rounds: &[CatchmentMap]) -> BTreeSet<Block24> {
+    let mut first_site: BTreeMap<Block24, vp_bgp::SiteId> = BTreeMap::new();
+    let mut unstable = BTreeSet::new();
     for round in rounds {
         for (block, site) in round.iter() {
             match first_site.entry(block) {
-                std::collections::hash_map::Entry::Occupied(e) => {
+                std::collections::btree_map::Entry::Occupied(e) => {
                     if *e.get() != site {
                         unstable.insert(block);
                     }
                 }
-                std::collections::hash_map::Entry::Vacant(e) => {
+                std::collections::btree_map::Entry::Vacant(e) => {
                     e.insert(site);
                 }
             }
@@ -122,7 +123,7 @@ impl FlipTable {
 /// block.
 pub fn flips_by_as(rounds: &[CatchmentMap], world: &Internet) -> FlipTable {
     let mut flips: BTreeMap<Asn, u64> = BTreeMap::new();
-    let mut blocks: BTreeMap<Asn, HashSet<Block24>> = BTreeMap::new();
+    let mut blocks: BTreeMap<Asn, BTreeSet<Block24>> = BTreeMap::new();
     for w in rounds.windows(2) {
         let (prev, cur) = (&w[0], &w[1]);
         for (block, site) in prev.iter() {

@@ -97,12 +97,11 @@ impl AtlasResult {
         }
         votes
             .into_iter()
-            .map(|(b, v)| {
+            .filter_map(|(b, v)| {
                 let (site, _) = v
                     .into_iter()
-                    .max_by_key(|&(s, n)| (n, std::cmp::Reverse(s)))
-                    .expect("non-empty votes");
-                (b, site)
+                    .max_by_key(|&(s, n)| (n, std::cmp::Reverse(s)))?;
+                Some((b, site))
             })
             .collect()
     }

@@ -40,7 +40,7 @@ fn probe_order_burstiness() {
             .collect();
         let mut worst = 0usize;
         for w in seq.chunks(window) {
-            let mut counts = std::collections::HashMap::new();
+            let mut counts = std::collections::BTreeMap::new();
             for &p in w {
                 *counts.entry(p).or_insert(0usize) += 1;
             }
@@ -55,7 +55,7 @@ fn probe_order_burstiness() {
         // almost always a single /16.
         let mut worst = 0;
         for w in (0..n as usize).collect::<Vec<_>>().chunks(window) {
-            let mut counts = std::collections::HashMap::new();
+            let mut counts = std::collections::BTreeMap::new();
             for &i in w {
                 *counts.entry(slash16(i)).or_insert(0usize) += 1;
             }
@@ -165,7 +165,7 @@ fn retry_coverage() {
     };
     let first = round(0, 1, 31);
     let second = round(15, 2, 32);
-    let mut merged: std::collections::HashSet<_> =
+    let mut merged: std::collections::BTreeSet<_> =
         first.catchments.iter().map(|(b, _)| b).collect();
     let single = merged.len();
     for (b, _) in second.catchments.iter() {

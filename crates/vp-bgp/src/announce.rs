@@ -74,6 +74,7 @@ impl Announcement {
         }
         let base = ANYCAST_REGION.0 + ((region_slot as u32) << 8);
         Announcement {
+            // vp-lint: allow(h2): /24 is always a valid prefix length.
             prefix: Prefix::new(Ipv4Addr(base), 24).expect("static /24"),
             sites,
         }

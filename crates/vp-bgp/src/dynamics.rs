@@ -10,7 +10,7 @@
 //! route. Flips happen at PoP granularity so different blocks of an AS
 //! flip at different times, as in the real measurements.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vp_net::Asn;
 use vp_topology::graph::AsGraph;
@@ -24,7 +24,7 @@ use crate::routing::{mix, unit_hash, RoutingTable};
 pub struct FlipModel {
     seed: u64,
     /// Per-AS flip probability per round; ASes not present never flip.
-    flip_prob: HashMap<Asn, f64>,
+    flip_prob: BTreeMap<Asn, f64>,
 }
 
 impl FlipModel {
@@ -32,7 +32,7 @@ impl FlipModel {
     pub fn stable(seed: u64) -> Self {
         FlipModel {
             seed,
-            flip_prob: HashMap::new(),
+            flip_prob: BTreeMap::new(),
         }
     }
 

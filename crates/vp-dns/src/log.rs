@@ -84,6 +84,9 @@ impl<'w> QueryLog<'w> {
     /// A regionally skewed service log (the `.nl` analog): blocks in
     /// `home_country` keep full weight, the rest of its continent is
     /// down-weighted, other continents heavily down-weighted.
+    ///
+    /// # Panics
+    /// Panics if `home_country_code` is not in the static country table.
     pub fn regional(
         world: &'w Internet,
         model: LoadModel,
@@ -91,6 +94,7 @@ impl<'w> QueryLog<'w> {
         home_country_code: &str,
     ) -> QueryLog<'w> {
         let (home, home_info) =
+            // vp-lint: allow(h2): documented contract - callers pass codes from the static table.
             vp_geo::world::country_by_code(home_country_code).expect("known country code");
         let home_continent = home_info.continent;
         let daily = world

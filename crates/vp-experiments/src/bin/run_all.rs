@@ -6,6 +6,7 @@ fn main() {
     let lab = vp_experiments::Lab::from_args();
     for (name, run) in vp_experiments::experiments::all() {
         println!("==================== {name} ====================");
+        // vp-lint: allow(d2): wall-clock progress display only; never reaches an artifact.
         let start = std::time::Instant::now();
         print!("{}", run(&lab));
         println!("[{name} completed in {:.1?}]", start.elapsed());

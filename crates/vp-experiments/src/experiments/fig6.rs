@@ -14,7 +14,9 @@ use verfploeter::report::TextTable;
 pub fn run(lab: &Lab) -> String {
     let scenario = lab.broot();
     let load = lab.load_april();
+    // vp-lint: allow(h2): the B-Root scenario always defines the LAX site.
     let lax = scenario.announcement.site_by_name("LAX").expect("LAX").id;
+    // vp-lint: allow(h2): the B-Root scenario always defines the MIA site.
     let mia = scenario.announcement.site_by_name("MIA").expect("MIA").id;
 
     let mut out = String::from(

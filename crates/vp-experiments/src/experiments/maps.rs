@@ -1,6 +1,6 @@
 //! Shared rendering of geographic catchment maps (Figs. 2 and 3).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use vp_atlas::AtlasResult;
 use vp_bgp::{Announcement, SiteId};
@@ -45,7 +45,7 @@ pub fn render_binned(
     rows.sort_by(|a, b| {
         let wa: f64 = a.1.values().sum();
         let wb: f64 = b.1.values().sum();
-        wb.partial_cmp(&wa).expect("finite")
+        wb.total_cmp(&wa)
     });
     out.push_str("largest bins (lat,lon center -> per-site):\n");
     for (bin, weights) in rows.iter().take(8) {
@@ -80,7 +80,7 @@ pub fn render_binned(
 
 /// Builds the Atlas-side bins: VPs per block weighted by VP count.
 pub fn atlas_bins(scenario: &Scenario, atlas: &AtlasResult) -> BinnedMap<SiteId> {
-    let mut per_block: HashMap<(Block24, SiteId), f64> = HashMap::new();
+    let mut per_block: BTreeMap<(Block24, SiteId), f64> = BTreeMap::new();
     for o in &atlas.outcomes {
         if let Some(site) = o.site {
             *per_block.entry((o.block, site)).or_insert(0.0) += 1.0;

@@ -6,8 +6,6 @@
 //! per-bin, per-key weights.
 
 use std::collections::BTreeMap;
-use std::collections::HashMap;
-use std::hash::Hash;
 
 use serde::{Deserialize, Serialize};
 
@@ -42,20 +40,23 @@ impl GeoBin {
 }
 
 /// Accumulates per-bin, per-key weights (key = anycast site, typically).
+///
+/// Storage is ordered end to end (bin, then key), so every iteration —
+/// and therefore every figure built from one — is deterministic.
 #[derive(Debug, Clone)]
-pub struct BinnedMap<K: Eq + Hash + Ord + Copy> {
-    bins: HashMap<GeoBin, HashMap<K, f64>>,
+pub struct BinnedMap<K: Ord + Copy> {
+    bins: BTreeMap<GeoBin, BTreeMap<K, f64>>,
 }
 
-impl<K: Eq + Hash + Ord + Copy> Default for BinnedMap<K> {
+impl<K: Ord + Copy> Default for BinnedMap<K> {
     fn default() -> Self {
         BinnedMap {
-            bins: HashMap::new(),
+            bins: BTreeMap::new(),
         }
     }
 }
 
-impl<K: Eq + Hash + Ord + Copy> BinnedMap<K> {
+impl<K: Ord + Copy> BinnedMap<K> {
     pub fn new() -> Self {
         Self::default()
     }
@@ -96,15 +97,12 @@ impl<K: Eq + Hash + Ord + Copy> BinnedMap<K> {
     }
 
     /// Rows for a map figure: `(bin, per-key weights sorted by key)`,
-    /// ordered by bin for deterministic output.
+    /// ordered by bin. The storage is already ordered, so this is a copy.
     pub fn rows(&self) -> Vec<(GeoBin, BTreeMap<K, f64>)> {
-        let mut rows: Vec<_> = self
-            .bins
+        self.bins
             .iter()
-            .map(|(bin, m)| (*bin, m.iter().map(|(k, w)| (*k, *w)).collect()))
-            .collect();
-        rows.sort_by_key(|(bin, _)| *bin);
-        rows
+            .map(|(bin, m)| (*bin, m.clone()))
+            .collect()
     }
 
     /// The maximum single-bin total weight (used to scale the figure's

@@ -1,6 +1,6 @@
 //! The MaxMind stand-in: a `/24 → location` database.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use vp_net::Block24;
@@ -22,7 +22,7 @@ pub struct GeoLoc {
 /// "no location" row of Table 4 — the paper discards 678 such blocks.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct GeoDb {
-    entries: HashMap<Block24, GeoLoc>,
+    entries: BTreeMap<Block24, GeoLoc>,
 }
 
 impl GeoDb {
@@ -49,7 +49,7 @@ impl GeoDb {
         self.entries.is_empty()
     }
 
-    /// Iterates all `(block, location)` entries in unspecified order.
+    /// Iterates all `(block, location)` entries in ascending block order.
     pub fn iter(&self) -> impl Iterator<Item = (Block24, GeoLoc)> + '_ {
         self.entries.iter().map(|(b, l)| (*b, *l))
     }

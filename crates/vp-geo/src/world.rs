@@ -17,8 +17,9 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// Continent grouping used in reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// Continent grouping used in reports. `Ord` follows declaration order so
+/// continents can key ordered maps in report code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Continent {
     Europe,
     NorthAmerica,

@@ -1,0 +1,11 @@
+//! Malformed directives: each of the three lines below is a `directive`
+//! finding, and none of them can be suppressed.
+
+// vp-lint: allow(d1)
+pub fn missing_justification() {}
+
+// vp-lint: allow(bogus): not a rule.
+pub fn unknown_rule() {}
+
+// vp-lint: frobnicate(all the things)
+pub fn unknown_directive() {}

@@ -1,0 +1,73 @@
+//! Zero findings must come from this file: every violation is either
+//! suppressed with a justified allow, inside a literal or comment (the
+//! lexer must mask those), in test scope, or covered by rule D3's marker
+//! and test-name escapes.
+
+use std::collections::BTreeMap;
+
+// A HashMap mention in a comment must not fire, nor in the strings below.
+pub fn masked_literals() -> Vec<String> {
+    vec![
+        "HashMap::new() and HashSet::from([1])".to_string(),
+        r#"raw: thread_rng() SystemTime::now() std::env!"#.to_string(),
+        r##"double-hash raw: x.unwrap() y as u32"##.to_string(),
+        "escaped \" then .expect(\"x\")".to_string(),
+        'H'.to_string(),
+        '\''.to_string(),
+        '"'.to_string(),
+    ]
+}
+
+/// Lifetimes must not confuse the char-literal path.
+pub fn lifetimes<'a>(x: &'a BTreeMap<u32, u32>) -> Option<&'a u32> {
+    x.get(&1)
+}
+
+// vp-lint: allow(d1): fixture exercising the standalone-line allow form.
+pub fn allowed_hash(map: std::collections::HashMap<u32, u32>) -> usize {
+    map.len() // the map is only counted, never iterated
+}
+
+pub fn allowed_trailing(x: u64) -> u32 {
+    x as u32 // vp-lint: allow(h1): fixture exercising the trailing allow form.
+}
+
+pub fn allowed_multi(v: Option<u32>) -> u32 {
+    // vp-lint: allow(d2, h1): fixture exercising a multi-rule allow.
+    v.unwrap_or_else(|| thread_rng() as u32)
+}
+
+pub struct Gauges {
+    pub g: u64,
+}
+
+impl Gauges {
+    /// Covered by the merge-tested marker in ../tests/fixture_tests.rs.
+    pub fn merge(&mut self, other: &Gauges) {
+        self.g += other.g;
+    }
+}
+
+pub struct Totals {
+    pub t: u64,
+}
+
+impl Totals {
+    /// Covered by the `totals_merge_accumulates` test name.
+    pub fn merge(&mut self, other: &Totals) {
+        self.t += other.t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_scope_is_exempt() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.get(&1).copied().unwrap(), (2u64 as u32));
+        let _ = std::env::var("UNCHECKED");
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture test file: everything here is test scope, so the unwraps and
+//! hash maps below must not fire. Provides D3 coverage for the types in
+//! suppressed.rs.
+
+use std::collections::HashMap;
+
+// vp-lint: merge-tested(Gauges::merge)
+
+#[test]
+fn totals_merge_accumulates() {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 1);
+    assert_eq!(m.get(&1).unwrap(), &1);
+}

@@ -1,0 +1,130 @@
+//! `vp-lint:` comment directives.
+//!
+//! Two forms are recognised anywhere in a comment:
+//!
+//! * `vp-lint: allow(<rule>[, <rule>]*): <justification>` — suppresses the
+//!   listed rules on the annotated line. A trailing comment annotates its
+//!   own line; a comment alone on a line annotates the next line. The
+//!   justification is mandatory: an allow without one is itself a finding.
+//! * `vp-lint: merge-tested(<Type::merge>)` — declares that the named
+//!   `pub fn merge` has a commutativity/associativity test (rule D3).
+//!
+//! Anything else after a `vp-lint:` marker is a malformed directive and is
+//! reported (unsuppressibly) so typos cannot silently disable a rule.
+
+use crate::lexer::Comment;
+use crate::rules::RuleId;
+
+/// A parsed suppression.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 1-based line the suppression applies to.
+    pub applies_to: usize,
+    pub rules: Vec<RuleId>,
+}
+
+/// Directives extracted from one file's comments.
+#[derive(Debug, Clone, Default)]
+pub struct Directives {
+    pub allows: Vec<Allow>,
+    /// `merge-tested(...)` payloads, e.g. `CatchmentMap::merge`.
+    pub merge_markers: Vec<String>,
+    /// Malformed directives: (line, explanation).
+    pub malformed: Vec<(usize, String)>,
+}
+
+impl Directives {
+    /// Whether `rule` is suppressed on `line`.
+    pub fn allows_on(&self, rule: RuleId, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.applies_to == line && a.rules.contains(&rule))
+    }
+}
+
+const MARKER: &str = "vp-lint";
+
+/// Parses all directives out of a file's comments.
+///
+/// Only comments that *start* with `vp-lint` are directives — prose that
+/// mentions the syntax mid-sentence (documentation, this file) is ignored.
+/// A leading `vp-lint` without the colon is still reported as malformed so
+/// a typo cannot silently disable a rule.
+pub fn parse(comments: &[Comment]) -> Directives {
+    let mut out = Directives::default();
+    for c in comments {
+        let Some(after_marker) = c.text.trim_start().strip_prefix(MARKER) else {
+            continue;
+        };
+        let Some(rest) = after_marker.strip_prefix(':').map(str::trim_start) else {
+            out.malformed
+                .push((c.line, "vp-lint directive is missing its `:`".into()));
+            continue;
+        };
+        if let Some(args) = rest.strip_prefix("allow") {
+            match parse_allow(args) {
+                Ok(rules) => out.allows.push(Allow {
+                    applies_to: if c.trailing { c.line } else { c.line + 1 },
+                    rules,
+                }),
+                Err(why) => out.malformed.push((c.line, why)),
+            }
+        } else if let Some(args) = rest.strip_prefix("merge-tested") {
+            match parse_paren(args) {
+                Some(inner) if !inner.trim().is_empty() => {
+                    out.merge_markers.push(inner.trim().to_string());
+                }
+                _ => out
+                    .malformed
+                    .push((c.line, "merge-tested needs a (Type::merge) argument".into())),
+            }
+        } else {
+            out.malformed.push((
+                c.line,
+                format!(
+                    "unknown vp-lint directive `{}` (expected allow(...) or merge-tested(...))",
+                    rest.split_whitespace().next().unwrap_or("")
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Extracts the content of a leading `( ... )` group, if present.
+fn parse_paren(s: &str) -> Option<&str> {
+    let s = s.trim_start();
+    let inner = s.strip_prefix('(')?;
+    let end = inner.find(')')?;
+    Some(&inner[..end])
+}
+
+/// Parses `( rule[, rule]* ): justification`.
+fn parse_allow(args: &str) -> Result<Vec<RuleId>, String> {
+    let args_trimmed = args.trim_start();
+    let Some(inner) = parse_paren(args_trimmed) else {
+        return Err("allow needs a (rule, ...) list".into());
+    };
+    let mut rules = Vec::new();
+    for part in inner.split(',') {
+        let name = part.trim();
+        match RuleId::from_name(name) {
+            Some(r) => rules.push(r),
+            None => return Err(format!("unknown rule `{name}` in allow(...)")),
+        }
+    }
+    if rules.is_empty() {
+        return Err("allow(...) lists no rules".into());
+    }
+    // The justification: everything after the closing paren, introduced by
+    // a colon, must be non-empty.
+    let after = match args_trimmed.find(')') {
+        Some(i) => args_trimmed[i + 1..].trim_start(),
+        None => "",
+    };
+    let justification = after.strip_prefix(':').map(str::trim).unwrap_or("");
+    if justification.is_empty() {
+        return Err("allow(...) needs a `: <one-line justification>`".into());
+    }
+    Ok(rules)
+}

@@ -1,0 +1,391 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The analyzer runs in a vendor-only environment (no `syn`), so rule
+//! matching works on a *masked* copy of each source file: every string,
+//! character, byte and raw-string literal and every comment is blanked to
+//! spaces (newlines preserved), which guarantees rules never fire on text
+//! inside literals or comments. Comments are collected separately so the
+//! directive parser (`// vp-lint: ...`) can read them.
+//!
+//! The scanner is total: any byte sequence (valid UTF-8 or not after lossy
+//! conversion) produces a masked file without panicking. Unterminated
+//! literals simply mask through end of file.
+
+/// One comment found in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Whether code preceded the comment on its starting line (a trailing
+    /// comment annotates its own line; a standalone one annotates the next).
+    pub trailing: bool,
+    /// Comment text without the `//`, `///`, `/*`, `*/` framing.
+    pub text: String,
+}
+
+/// A source file with literals and comments blanked out.
+#[derive(Debug, Clone)]
+pub struct MaskedFile {
+    /// Same length (in chars) as the input; literal and comment chars are
+    /// replaced by spaces, newlines are preserved.
+    pub code: String,
+    pub comments: Vec<Comment>,
+}
+
+impl MaskedFile {
+    /// The masked code split into lines (no terminators).
+    pub fn lines(&self) -> impl Iterator<Item = &str> {
+        self.code.split('\n')
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Masks `source`. Never panics, for any input.
+pub fn mask(source: &str) -> MaskedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let mut out = String::with_capacity(source.len());
+    let mut comments = Vec::new();
+
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut code_on_line = false;
+    // Last non-whitespace char emitted as code (to tell a raw-string prefix
+    // `r"` from the tail of an identifier like `var` + `"...` — the latter
+    // cannot occur in valid Rust, but the lexer must stay total anyway).
+    let mut prev_code: Option<char> = None;
+
+    // Emits a masked (blanked) char, preserving newlines.
+    macro_rules! blank {
+        ($c:expr) => {
+            if $c == '\n' {
+                out.push('\n');
+                line += 1;
+                code_on_line = false;
+            } else {
+                out.push(' ');
+            }
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        // Line comment (also doc comments `///`, `//!`).
+        if c == '/' && next == Some('/') {
+            let start_line = line;
+            let trailing = code_on_line;
+            let mut text = String::new();
+            let mut j = i;
+            // Skip the leading slashes and an optional doc marker.
+            while j < n && chars[j] == '/' {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'!') {
+                j += 1;
+            }
+            while i < j.min(n) {
+                blank!(chars[i]);
+                i += 1;
+            }
+            while i < n && chars[i] != '\n' {
+                text.push(chars[i]);
+                blank!(chars[i]);
+                i += 1;
+            }
+            comments.push(Comment {
+                line: start_line,
+                trailing,
+                text: text.trim().to_string(),
+            });
+            continue;
+        }
+
+        // Block comment (Rust block comments nest).
+        if c == '/' && next == Some('*') {
+            let start_line = line;
+            let trailing = code_on_line;
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while i < n {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    blank!(chars[i]);
+                    blank!(chars[i + 1]);
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth = depth.saturating_sub(1);
+                    blank!(chars[i]);
+                    blank!(chars[i + 1]);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if depth > 0 {
+                        text.push(chars[i]);
+                    }
+                    blank!(chars[i]);
+                    i += 1;
+                }
+            }
+            comments.push(Comment {
+                line: start_line,
+                trailing,
+                text: text.trim().to_string(),
+            });
+            continue;
+        }
+
+        // Raw / byte / C-string prefixes: r"..", r#".."#, b"..", br#".."#,
+        // b'..', c"..". Only when not glued to a preceding identifier.
+        let prefix_ok = !prev_code.map_or(false, is_ident_char);
+        if prefix_ok && (c == 'r' || c == 'b' || c == 'c') {
+            // Find the shape of a possible literal prefix.
+            let mut j = i + 1;
+            if c == 'b' && chars.get(j) == Some(&'r') {
+                j += 1;
+            }
+            let raw = c == 'r' || (c == 'b' && chars.get(i + 1) == Some(&'r'));
+            let mut hashes = 0usize;
+            if raw {
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+            }
+            if chars.get(j) == Some(&'"') {
+                // Mask prefix + opening quote.
+                while i <= j && i < n {
+                    blank!(chars[i]);
+                    i += 1;
+                }
+                if raw {
+                    // Scan for `"` followed by `hashes` hash marks.
+                    while i < n {
+                        if chars[i] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                for _ in 0..=hashes {
+                                    if i < n {
+                                        blank!(chars[i]);
+                                        i += 1;
+                                    }
+                                }
+                                break;
+                            }
+                        }
+                        blank!(chars[i]);
+                        i += 1;
+                    }
+                } else {
+                    mask_cooked_string(&chars, &mut i, n, &mut |ch| blank!(ch));
+                }
+                prev_code = None;
+                continue;
+            }
+            if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                // Byte char literal b'x'.
+                blank!(chars[i]);
+                i += 1;
+                mask_char_literal(&chars, &mut i, n, &mut |ch| blank!(ch));
+                prev_code = None;
+                continue;
+            }
+            // Not a literal prefix: fall through to plain code below.
+        }
+
+        // Cooked string.
+        if c == '"' {
+            mask_cooked_string(&chars, &mut i, n, &mut |ch| blank!(ch));
+            prev_code = None;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let is_char_lit = match next {
+                Some('\\') => true,
+                // `'x'` — one char then a closing quote. `'x` with anything
+                // else after (ident char, `>`, `,`, ...) is a lifetime.
+                Some(nc) => nc != '\'' && chars.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char_lit {
+                mask_char_literal(&chars, &mut i, n, &mut |ch| blank!(ch));
+                prev_code = None;
+                continue;
+            }
+            // Lifetime (or stray quote): keep as code.
+        }
+
+        // Plain code char.
+        if c == '\n' {
+            out.push('\n');
+            line += 1;
+            code_on_line = false;
+        } else {
+            out.push(c);
+            if !c.is_whitespace() {
+                code_on_line = true;
+                prev_code = Some(c);
+            }
+        }
+        i += 1;
+    }
+
+    MaskedFile {
+        code: out,
+        comments,
+    }
+}
+
+/// Masks a cooked (escaped) string starting at the opening quote.
+fn mask_cooked_string(
+    chars: &[char],
+    i: &mut usize,
+    n: usize,
+    blank: &mut dyn FnMut(char),
+) {
+    // Opening quote.
+    if *i < n {
+        blank(chars[*i]);
+        *i += 1;
+    }
+    while *i < n {
+        let c = chars[*i];
+        if c == '\\' {
+            blank(c);
+            *i += 1;
+            if *i < n {
+                blank(chars[*i]);
+                *i += 1;
+            }
+            continue;
+        }
+        blank(c);
+        *i += 1;
+        if c == '"' {
+            break;
+        }
+    }
+}
+
+/// Masks a char (or byte-char) literal starting at the opening quote.
+fn mask_char_literal(
+    chars: &[char],
+    i: &mut usize,
+    n: usize,
+    blank: &mut dyn FnMut(char),
+) {
+    // Opening quote.
+    if *i < n {
+        blank(chars[*i]);
+        *i += 1;
+    }
+    while *i < n {
+        let c = chars[*i];
+        if c == '\\' {
+            blank(c);
+            *i += 1;
+            if *i < n {
+                blank(chars[*i]);
+                *i += 1;
+            }
+            continue;
+        }
+        blank(c);
+        *i += 1;
+        if c == '\'' {
+            break;
+        }
+    }
+}
+
+/// A token of masked code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (value irrelevant to the rules; kept so `1u16` never
+    /// reads as the identifier `u16`).
+    Number,
+    /// Single punctuation char.
+    Punct(char),
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (in chars).
+    pub col: usize,
+}
+
+impl Token {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// Tokenizes masked code. Numbers swallow their suffixes (`1u16`, `0xbad`)
+/// but never a `.` (so `x.unwrap` keeps its dot token).
+pub fn tokenize(masked: &MaskedFile) -> Vec<Token> {
+    let mut toks = Vec::new();
+    for (lineno, line) in masked.lines().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            let col = i + 1;
+            if c.is_ascii_digit() {
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+                toks.push(Token {
+                    tok: Tok::Number,
+                    line: lineno + 1,
+                    col,
+                });
+            } else if is_ident_char(c) {
+                let start = i;
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+                toks.push(Token {
+                    tok: Tok::Ident(chars[start..i].iter().collect()),
+                    line: lineno + 1,
+                    col,
+                });
+            } else {
+                toks.push(Token {
+                    tok: Tok::Punct(c),
+                    line: lineno + 1,
+                    col,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}

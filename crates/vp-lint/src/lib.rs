@@ -1,0 +1,85 @@
+//! `vp-lint` — the workspace determinism-and-hygiene analyzer.
+//!
+//! PR 1 made bit-identical determinism the scan engine's contract; this
+//! crate turns that contract from "tested on one path" into "machine-checked
+//! on every path". It is a dependency-free static analyzer (hand-rolled
+//! lexer — the vendor-only environment has no `syn`) that walks the
+//! workspace's `.rs` files and enforces the rule set documented in
+//! [`rules`]: hash-order nondeterminism (d1), ambient entropy (d2),
+//! untested merge algebra (d3), narrowing casts in hot crates (h1) and
+//! panicking unwraps in library code (h2).
+//!
+//! Ships three ways: the `cargo run -p vp-lint` CLI, the tier-1
+//! `tests/lint_gate.rs` integration test that fails the build on any
+//! unsuppressed finding, and `scripts/check.sh`.
+//!
+//! Suppression: `// vp-lint: allow(<rule>): <justification>` on (or
+//! directly above) the offending line. The justification is mandatory.
+
+pub mod directives;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{FileContext, Finding, RuleId};
+pub use workspace::{find_workspace_root, scan_files, scan_workspace};
+
+/// Renders findings as `file:line:col: rule: message` lines.
+pub fn to_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}:{}: {}: {}\n",
+            f.file,
+            f.line,
+            f.col,
+            f.rule.name(),
+            f.message
+        ));
+    }
+    out.push_str(&format!(
+        "vp-lint: {} finding{}\n",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    ));
+    out
+}
+
+/// Renders findings as a JSON array (hand-rolled: the analyzer stays
+/// dependency-free so it can never be broken by the crates it checks).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{}}}",
+            json_string(&f.file),
+            f.line,
+            f.col,
+            json_string(f.rule.name()),
+            json_string(&f.message)
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

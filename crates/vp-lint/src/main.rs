@@ -1,0 +1,103 @@
+//! The `vp-lint` CLI.
+//!
+//! ```text
+//! cargo run -p vp-lint -- --workspace [--format text|json]
+//! cargo run -p vp-lint -- [--root DIR] [--format text|json] PATH...
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+// vp-lint: allow(d2): the CLI reads its own argv; no measurement-path entropy.
+use std::env;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("vp-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut format = "text".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut workspace = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value (text|json)")?;
+                if v != "text" && v != "json" {
+                    return Err(format!("unknown format `{v}` (expected text|json)"));
+                }
+                format = v.clone();
+            }
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                root = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "vp-lint: workspace determinism-and-hygiene analyzer\n\n\
+                     USAGE:\n  vp-lint --workspace [--root DIR] [--format text|json]\n  \
+                     vp-lint [--root DIR] [--format text|json] PATH...\n\n\
+                     Rules: d1 hash-order, d2 ambient entropy, d3 merge-tested,\n\
+                     h1 narrowing casts (hot crates), h2 unwrap/expect in libraries.\n\
+                     Suppress with `// vp-lint: allow(<rule>): <justification>`."
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            p if !p.starts_with('-') => paths.push(PathBuf::from(p)),
+            other => return Err(format!("unknown flag `{other}` (see --help)")),
+        }
+    }
+
+    let cwd = env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let root = match root {
+        Some(r) => r,
+        None => vp_lint::find_workspace_root(&cwd)
+            .ok_or("no workspace root found (pass --root)")?,
+    };
+
+    let files = if workspace || paths.is_empty() {
+        vp_lint::workspace::collect_rs_files(&root)
+    } else {
+        let mut files = Vec::new();
+        for p in &paths {
+            let p = if p.is_absolute() { p.clone() } else { root.join(p) };
+            if p.is_dir() {
+                files.extend(
+                    vp_lint::workspace::collect_rs_files(&p)
+                        .map_err(|e| format!("{}: {e}", p.display()))?,
+                );
+            } else {
+                files.push(p);
+            }
+        }
+        files.sort();
+        Ok(files)
+    }
+    .map_err(|e| format!("walking {}: {e}", root.display()))?;
+
+    let findings = vp_lint::scan_files(&root, &files).map_err(|e| format!("scan: {e}"))?;
+
+    match format.as_str() {
+        "json" => print!("{}", vp_lint::to_json(&findings)),
+        _ => print!("{}", vp_lint::to_text(&findings)),
+    }
+
+    Ok(if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

@@ -1,0 +1,482 @@
+//! The rule set.
+//!
+//! | id  | rule |
+//! |-----|------|
+//! | d1  | no `HashMap`/`HashSet` in non-test code — ambient hash order must never feed catchment maps, serialized results or reports |
+//! | d2  | no ambient nondeterminism (`thread_rng`, `SystemTime::now`, `Instant::now`, `std::env`) outside `vp-bench` |
+//! | d3  | every `pub fn merge` needs a merge-algebra test (a `vp-lint: merge-tested(Type::merge)` marker or a matching test name) |
+//! | h1  | no narrowing `as` casts in the hot crates (`vp-sim`, `verfploeter`, `vp-hitlist`) |
+//! | h2  | no `unwrap()`/`expect()` in library (non-test, non-bin) code |
+//! | directive | malformed `vp-lint:` directive (never suppressible) |
+//!
+//! Matching happens on masked tokens (see [`crate::lexer`]), so literals
+//! and comments can never trigger a rule. Test scope — files under
+//! `tests/`, `benches/` or `examples/`, and `#[cfg(test)]` blocks — is
+//! exempt from every rule except `directive`.
+
+use crate::directives::{self, Directives};
+use crate::lexer::{self, Token};
+
+/// Stable identifier of one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    D1,
+    D2,
+    D3,
+    H1,
+    H2,
+    Directive,
+}
+
+impl RuleId {
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::D1 => "d1",
+            RuleId::D2 => "d2",
+            RuleId::D3 => "d3",
+            RuleId::H1 => "h1",
+            RuleId::H2 => "h2",
+            RuleId::Directive => "directive",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<RuleId> {
+        match s {
+            "d1" => Some(RuleId::D1),
+            "d2" => Some(RuleId::D2),
+            "d3" => Some(RuleId::D3),
+            "h1" => Some(RuleId::H1),
+            "h2" => Some(RuleId::H2),
+            "directive" => Some(RuleId::Directive),
+            _ => None,
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based.
+    pub line: usize,
+    /// 1-based (chars).
+    pub col: usize,
+    pub rule: RuleId,
+    pub message: String,
+}
+
+/// Where a file sits in the workspace; decides which rules apply.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// `crates/<name>/...` → `<name>`; the root package otherwise.
+    pub crate_name: String,
+    /// Under `tests/`, `benches/` or `examples/`.
+    pub is_test: bool,
+    /// `src/main.rs`, under `src/bin/`, or a build script.
+    pub is_bin: bool,
+}
+
+impl FileContext {
+    /// Derives the context from a workspace-relative path.
+    pub fn from_rel_path(rel_path: &str) -> FileContext {
+        let components: Vec<&str> = rel_path.split('/').collect();
+        let crate_name = if components.len() > 2 && components[0] == "crates" {
+            components[1].to_string()
+        } else {
+            String::new()
+        };
+        let is_test = components
+            .iter()
+            .any(|c| matches!(*c, "tests" | "benches" | "examples"));
+        let file_name = components.last().copied().unwrap_or("");
+        let is_bin = components.iter().any(|c| *c == "bin")
+            || file_name == "main.rs"
+            || file_name == "build.rs";
+        FileContext {
+            rel_path: rel_path.to_string(),
+            crate_name,
+            is_test,
+            is_bin,
+        }
+    }
+}
+
+/// Crates whose narrowing casts H1 polices.
+const HOT_CRATES: [&str; 3] = ["vp-sim", "verfploeter", "vp-hitlist"];
+/// Crates exempt from D2 (benchmarks measure wall-clock by design).
+const D2_EXEMPT_CRATES: [&str; 1] = ["vp-bench"];
+/// Narrow numeric cast targets (anything that can drop bits from the u64 /
+/// usize / f64 values this codebase computes with). `u64`/`u128`/`i64`/
+/// `i128`/`f64` targets are widening at our value ranges and exempt.
+const NARROW_TYPES: [&str; 9] = [
+    "u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize", "f32",
+];
+const HASH_TYPES: [&str; 4] = ["HashMap", "HashSet", "hash_map", "hash_set"];
+
+/// A `pub fn merge` definition found in library code.
+#[derive(Debug, Clone)]
+pub struct MergeDef {
+    /// `Type::merge`, or bare `merge` outside an `impl`.
+    pub qualified: String,
+    /// The `impl` type, lowercased with no underscores (for test-name
+    /// matching); empty outside an `impl`.
+    pub type_key: String,
+    pub file: String,
+    pub line: usize,
+    pub col: usize,
+    /// Whether an `allow(d3)` covers the definition line.
+    pub suppressed: bool,
+}
+
+/// Everything one file contributes to the workspace scan.
+#[derive(Debug, Clone, Default)]
+pub struct FileScan {
+    pub findings: Vec<Finding>,
+    pub merge_defs: Vec<MergeDef>,
+    /// `merge-tested(...)` marker payloads.
+    pub merge_markers: Vec<String>,
+    /// Names of `fn`s in test scope, lowercased with underscores removed.
+    pub test_fn_keys: Vec<String>,
+}
+
+/// Per-token scope annotations computed in one pass.
+struct Annotations {
+    /// Token is inside a `#[cfg(test)]` block.
+    in_test: Vec<bool>,
+    /// Enclosing `impl` type name per token (innermost), if any.
+    impl_type: Vec<Option<String>>,
+}
+
+fn annotate(tokens: &[Token]) -> Annotations {
+    let mut in_test = vec![false; tokens.len()];
+    let mut impl_type: Vec<Option<String>> = vec![None; tokens.len()];
+
+    let mut depth = 0usize;
+    let mut test_stack: Vec<usize> = Vec::new();
+    let mut impl_stack: Vec<(usize, Option<String>)> = Vec::new();
+
+    // `#[cfg(test)]`-ish attribute seen; latches onto the next `{` unless a
+    // `;` ends the attributed item first.
+    let mut pending_test = false;
+    // Collecting the header of an `impl` (between `impl` and `{`).
+    let mut impl_capture: Option<(usize, Vec<String>)> = None; // (angle_depth, idents)
+    let mut pending_impl: Option<String> = None;
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        in_test[i] = !test_stack.is_empty();
+        impl_type[i] = impl_stack.iter().rev().find_map(|(_, n)| n.clone());
+
+        // Attributes: consume `#[ ... ]` wholesale and classify.
+        if t.is_punct('#') && tokens.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+            let mut j = i + 2;
+            let mut bracket = 1usize;
+            let mut idents: Vec<&str> = Vec::new();
+            while j < tokens.len() && bracket > 0 {
+                match &tokens[j].tok {
+                    lexer::Tok::Punct('[') => bracket += 1,
+                    lexer::Tok::Punct(']') => bracket -= 1,
+                    lexer::Tok::Ident(s) => idents.push(s),
+                    _ => {}
+                }
+                in_test[j] = !test_stack.is_empty();
+                impl_type[j] = impl_type[i].clone();
+                j += 1;
+            }
+            let is_cfg_test = idents.first().is_some_and(|f| *f == "cfg" || *f == "cfg_attr")
+                && idents.iter().any(|s| *s == "test");
+            if is_cfg_test {
+                pending_test = true;
+            }
+            i = j;
+            continue;
+        }
+
+        match &t.tok {
+            lexer::Tok::Ident(s) if s == "impl" && impl_capture.is_none() => {
+                impl_capture = Some((0, Vec::new()));
+            }
+            lexer::Tok::Ident(s) => {
+                if let Some((angle, idents)) = impl_capture.as_mut() {
+                    if *angle == 0 {
+                        if s == "for" {
+                            idents.clear();
+                        } else if s == "where" {
+                            // Header name is settled; ignore the rest.
+                        } else {
+                            idents.push(s.clone());
+                        }
+                    }
+                }
+            }
+            lexer::Tok::Punct('<') => {
+                if let Some((angle, _)) = impl_capture.as_mut() {
+                    *angle += 1;
+                }
+            }
+            lexer::Tok::Punct('>') => {
+                if let Some((angle, _)) = impl_capture.as_mut() {
+                    *angle = angle.saturating_sub(1);
+                }
+            }
+            lexer::Tok::Punct(';') => {
+                // An attributed item without a body (`#[cfg(test)] use ...;`)
+                // must not latch the test flag onto an unrelated later block.
+                if pending_test && impl_capture.is_none() {
+                    pending_test = false;
+                }
+            }
+            lexer::Tok::Punct('{') => {
+                if let Some((_, idents)) = impl_capture.take() {
+                    pending_impl = Some(idents.last().cloned().unwrap_or_default());
+                }
+                if let Some(name) = pending_impl.take() {
+                    let name = if name.is_empty() { None } else { Some(name) };
+                    impl_stack.push((depth, name));
+                }
+                if pending_test {
+                    test_stack.push(depth);
+                    pending_test = false;
+                }
+                depth += 1;
+            }
+            lexer::Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while impl_stack.last().is_some_and(|(d, _)| *d == depth) {
+                    impl_stack.pop();
+                }
+                while test_stack.last().is_some_and(|d| *d == depth) {
+                    test_stack.pop();
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    Annotations { in_test, impl_type }
+}
+
+/// Lowercases and strips underscores (for loose test-name matching).
+fn name_key(s: &str) -> String {
+    s.chars()
+        .filter(|c| *c != '_')
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
+/// Scans one file. Cross-file conclusions (rule D3) are drawn later by
+/// [`crate::workspace::scan_files`] from the returned defs/markers/names.
+pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
+    let masked = lexer::mask(source);
+    let tokens = lexer::tokenize(&masked);
+    let dirs = directives::parse(&masked.comments);
+    let ann = annotate(&tokens);
+
+    let mut out = FileScan {
+        merge_markers: dirs.merge_markers.clone(),
+        ..FileScan::default()
+    };
+
+    let hot = HOT_CRATES.contains(&ctx.crate_name.as_str());
+    let d2_exempt = D2_EXEMPT_CRATES.contains(&ctx.crate_name.as_str());
+
+    let push = |dirs: &Directives, findings: &mut Vec<Finding>, rule, line, col, message: String| {
+        if !dirs.allows_on(rule, line) {
+            findings.push(Finding {
+                file: ctx.rel_path.clone(),
+                line,
+                col,
+                rule,
+                message,
+            });
+        }
+    };
+
+    for (i, t) in tokens.iter().enumerate() {
+        let in_test = ctx.is_test || ann.in_test[i];
+
+        // Collect test fn names (for D3 name matching).
+        if in_test
+            && t.ident() == Some("fn")
+        {
+            if let Some(name) = tokens.get(i + 1).and_then(Token::ident) {
+                out.test_fn_keys.push(name_key(name));
+            }
+        }
+        if in_test {
+            continue;
+        }
+
+        // d1 — hash collections.
+        if let Some(id) = t.ident() {
+            if HASH_TYPES.contains(&id) {
+                push(
+                    &dirs,
+                    &mut out.findings,
+                    RuleId::D1,
+                    t.line,
+                    t.col,
+                    format!(
+                        "{id} has nondeterministic iteration order; use BTreeMap/BTreeSet \
+                         (or sort before anything order-sensitive)"
+                    ),
+                );
+            }
+        }
+
+        // d2 — ambient nondeterminism.
+        if !d2_exempt {
+            if t.ident() == Some("thread_rng") {
+                push(
+                    &dirs,
+                    &mut out.findings,
+                    RuleId::D2,
+                    t.line,
+                    t.col,
+                    "thread_rng is ambient entropy; draw from a seeded, keyed RNG".into(),
+                );
+            }
+            let path2 = |a: &str, b: &str| {
+                t.ident() == Some(a)
+                    && tokens.get(i + 1).is_some_and(|x| x.is_punct(':'))
+                    && tokens.get(i + 2).is_some_and(|x| x.is_punct(':'))
+                    && tokens.get(i + 3).and_then(Token::ident) == Some(b)
+            };
+            if path2("SystemTime", "now") || path2("Instant", "now") {
+                push(
+                    &dirs,
+                    &mut out.findings,
+                    RuleId::D2,
+                    t.line,
+                    t.col,
+                    "wall-clock reads are nondeterministic; use SimTime or pass time in".into(),
+                );
+            }
+            if path2("std", "env") {
+                push(
+                    &dirs,
+                    &mut out.findings,
+                    RuleId::D2,
+                    t.line,
+                    t.col,
+                    "std::env makes behaviour depend on ambient process state".into(),
+                );
+            }
+        }
+
+        // d3 — record pub fn merge definitions.
+        if t.ident() == Some("pub")
+            && tokens.get(i + 1).and_then(Token::ident) == Some("fn")
+            && tokens.get(i + 2).and_then(Token::ident) == Some("merge")
+        {
+            let def_tok = &tokens[i + 2];
+            let (qualified, type_key) = match &ann.impl_type[i] {
+                Some(ty) => (format!("{ty}::merge"), name_key(ty)),
+                None => ("merge".to_string(), String::new()),
+            };
+            out.merge_defs.push(MergeDef {
+                qualified,
+                type_key,
+                file: ctx.rel_path.clone(),
+                line: def_tok.line,
+                col: def_tok.col,
+                suppressed: dirs.allows_on(RuleId::D3, def_tok.line),
+            });
+        }
+
+        // h1 — narrowing casts in hot crates.
+        if hot
+            && t.ident() == Some("as")
+        {
+            if let Some(ty) = tokens.get(i + 1).and_then(Token::ident) {
+                if NARROW_TYPES.contains(&ty) {
+                    push(
+                        &dirs,
+                        &mut out.findings,
+                        RuleId::H1,
+                        t.line,
+                        t.col,
+                        format!(
+                            "narrowing `as {ty}` can truncate silently; use From/try_from \
+                             or a saturating conversion"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // h2 — unwrap/expect in library code.
+        if !ctx.is_bin
+            && t.is_punct('.')
+            && tokens.get(i + 2).is_some_and(|x| x.is_punct('('))
+        {
+            if let Some(m) = tokens.get(i + 1).and_then(Token::ident) {
+                if m == "unwrap" || m == "expect" {
+                    let mt = &tokens[i + 1];
+                    push(
+                        &dirs,
+                        &mut out.findings,
+                        RuleId::H2,
+                        mt.line,
+                        mt.col,
+                        format!("{m}() in library code can panic; propagate the error or \
+                                 handle the None/Err case"),
+                    );
+                }
+            }
+        }
+    }
+
+    // Malformed directives are findings everywhere and cannot be allowed.
+    for (line, why) in &dirs.malformed {
+        out.findings.push(Finding {
+            file: ctx.rel_path.clone(),
+            line: *line,
+            col: 1,
+            rule: RuleId::Directive,
+            message: why.clone(),
+        });
+    }
+
+    out
+}
+
+/// Resolves rule D3 across files: every unsuppressed `pub fn merge` must be
+/// named by a `merge-tested(...)` marker or covered by a test fn whose
+/// name mentions both the type and "merge".
+pub fn resolve_merge_rule(
+    defs: &[MergeDef],
+    markers: &[String],
+    test_fn_keys: &[String],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for def in defs {
+        if def.suppressed {
+            continue;
+        }
+        let marked = markers.iter().any(|m| m == &def.qualified || m == "merge");
+        let named = !def.type_key.is_empty()
+            && test_fn_keys
+                .iter()
+                .any(|k| k.contains("merge") && k.contains(&def.type_key));
+        if !marked && !named {
+            findings.push(Finding {
+                file: def.file.clone(),
+                line: def.line,
+                col: def.col,
+                rule: RuleId::D3,
+                message: format!(
+                    "{} has no merge-algebra test: add a commutativity/associativity \
+                     proptest and a `vp-lint: merge-tested({})` marker beside it",
+                    def.qualified, def.qualified
+                ),
+            });
+        }
+    }
+    findings
+}

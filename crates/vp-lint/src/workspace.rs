@@ -1,0 +1,93 @@
+//! Workspace file discovery and the cross-file scan.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{self, FileContext, Finding};
+
+/// Directory names never scanned: third-party stand-ins (`vendor` mirrors
+/// upstream crates, not our determinism surface), build products, data, and
+/// the analyzer's own violation fixtures.
+const SKIP_DIRS: [&str; 6] = ["target", "vendor", ".git", "results", "fixtures", "node_modules"];
+
+/// Recursively collects `.rs` files under `root`, sorted by relative path
+/// so reports (and the tier-1 gate) are byte-stable across filesystems.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// The workspace-relative path of `path`, with `/` separators.
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Scans a set of files as one workspace rooted at `root` (rule D3 is
+/// resolved across all of them). Findings come back sorted.
+pub fn scan_files(root: &Path, files: &[PathBuf]) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let mut merge_defs = Vec::new();
+    let mut markers = Vec::new();
+    let mut test_fn_keys = Vec::new();
+
+    for path in files {
+        let bytes = fs::read(path)?;
+        let source = String::from_utf8_lossy(&bytes);
+        let ctx = FileContext::from_rel_path(&rel_path(root, path));
+        let mut scan = rules::scan_file(&ctx, &source);
+        findings.append(&mut scan.findings);
+        merge_defs.append(&mut scan.merge_defs);
+        markers.append(&mut scan.merge_markers);
+        test_fn_keys.append(&mut scan.test_fn_keys);
+    }
+
+    findings.extend(rules::resolve_merge_rule(&merge_defs, &markers, &test_fn_keys));
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+    });
+    Ok(findings)
+}
+
+/// Scans every `.rs` file of the workspace at `root`.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let files = collect_rs_files(root)?;
+    scan_files(root, &files)
+}
+
+/// Walks up from `start` to the nearest directory whose `Cargo.toml`
+/// declares a `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,295 @@
+//! Analyzer self-tests: the lexer's masking edges, each rule firing and
+//! being suppressed in isolation, and a byte-soup proptest proving the
+//! whole pipeline is total (never panics) on arbitrary input.
+
+use proptest::prelude::*;
+use vp_lint::lexer::{self, Tok};
+use vp_lint::rules::{self, FileContext, RuleId};
+
+/// Scans `source` as if it were library code in a hot crate (every rule
+/// active) and returns the rule ids that fired.
+fn fired(source: &str) -> Vec<RuleId> {
+    let ctx = FileContext::from_rel_path("crates/vp-sim/src/lib.rs");
+    rules::scan_file(&ctx, source)
+        .findings
+        .iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Lexer: masking.
+// ---------------------------------------------------------------------
+
+#[test]
+fn mask_blanks_cooked_strings_and_preserves_layout() {
+    let m = lexer::mask("let x = \"HashMap\";\nlet y = 1;");
+    assert_eq!(m.code, "let x =          ;\nlet y = 1;");
+}
+
+#[test]
+fn mask_handles_escaped_quotes() {
+    let m = lexer::mask(r#"let s = "a\"b.unwrap()\"c"; done"#);
+    assert!(!m.code.contains("unwrap"));
+    assert!(m.code.contains("done"));
+}
+
+#[test]
+fn mask_blanks_raw_strings_with_hashes() {
+    let m = lexer::mask(r###"let s = r#"thread_rng() "quoted" inside"#; after"###);
+    assert!(!m.code.contains("thread_rng"));
+    assert!(m.code.contains("after"));
+}
+
+#[test]
+fn mask_blanks_byte_and_c_strings() {
+    let m = lexer::mask(r##"let a = b"HashMap"; let b = br#"HashSet"#; let c = c"env";"##);
+    assert!(!m.code.contains("HashMap"));
+    assert!(!m.code.contains("HashSet"));
+    assert!(!m.code.contains("env"));
+}
+
+#[test]
+fn mask_blanks_char_literals_but_keeps_lifetimes() {
+    let m = lexer::mask("fn f<'a>(x: &'a str) -> char { 'H' }");
+    assert!(m.code.contains("'a>"), "lifetime eaten: {}", m.code);
+    assert!(!m.code.contains('H'));
+    // Escaped char literal.
+    let m = lexer::mask("let q = '\\''; let n = '\\n'; rest");
+    assert!(m.code.contains("rest"));
+}
+
+#[test]
+fn mask_collects_line_and_block_comments() {
+    let m = lexer::mask("let a = 1; // trailing note\n// standalone note\n/* block\nspan */ let b;");
+    assert!(!m.code.contains("note"));
+    assert_eq!(m.comments.len(), 3);
+    assert!(m.comments[0].trailing);
+    assert_eq!(m.comments[0].text, "trailing note");
+    assert!(!m.comments[1].trailing);
+    assert_eq!(m.comments[2].line, 3);
+    // Newlines inside block comments are preserved for line numbering.
+    assert_eq!(m.code.lines().count(), 4);
+}
+
+#[test]
+fn mask_handles_nested_block_comments() {
+    let m = lexer::mask("/* outer /* inner */ still-comment */ code");
+    assert!(!m.code.contains("still-comment"));
+    assert!(m.code.contains("code"));
+}
+
+#[test]
+fn mask_survives_unterminated_literals() {
+    for src in ["let s = \"never closed", "let c = '", "let r = r#\"open", "/* open"] {
+        let m = lexer::mask(src);
+        assert_eq!(m.code.len(), src.chars().count());
+    }
+}
+
+#[test]
+fn doc_comment_markers_are_stripped_from_text() {
+    let m = lexer::mask("/// outer doc\n//! inner doc\nfn f() {}");
+    assert_eq!(m.comments[0].text, "outer doc");
+    assert_eq!(m.comments[1].text, "inner doc");
+}
+
+// ---------------------------------------------------------------------
+// Lexer: tokenization.
+// ---------------------------------------------------------------------
+
+#[test]
+fn tokenize_splits_idents_numbers_and_punct() {
+    let m = lexer::mask("x.unwrap() as u32");
+    let toks = lexer::tokenize(&m);
+    let idents: Vec<&str> = toks.iter().filter_map(|t| t.ident()).collect();
+    assert_eq!(idents, ["x", "unwrap", "as", "u32"]);
+    assert!(toks.iter().any(|t| t.is_punct('.')));
+}
+
+#[test]
+fn tokenize_number_suffix_is_not_an_ident() {
+    let m = lexer::mask("let x = 1u16 + 0xbad;");
+    let toks = lexer::tokenize(&m);
+    assert!(toks.iter().all(|t| t.ident() != Some("u16")));
+    let numbers = toks.iter().filter(|t| t.tok == Tok::Number).count();
+    assert_eq!(numbers, 2);
+}
+
+#[test]
+fn tokenize_reports_one_based_positions() {
+    let m = lexer::mask("a\n  bee");
+    let toks = lexer::tokenize(&m);
+    assert_eq!((toks[0].line, toks[0].col), (1, 1));
+    assert_eq!((toks[1].line, toks[1].col), (2, 3));
+}
+
+// ---------------------------------------------------------------------
+// Rules: each fires in isolation, and each suppression form works.
+// ---------------------------------------------------------------------
+
+#[test]
+fn d1_fires_on_hash_collections() {
+    assert_eq!(fired("use std::collections::HashMap;\n"), [RuleId::D1]);
+    assert_eq!(fired("fn f(s: HashSet<u32>) {}\n"), [RuleId::D1]);
+    assert_eq!(fired("use std::collections::hash_map::Entry;\n"), [RuleId::D1]);
+    assert!(fired("use std::collections::BTreeMap;\n").is_empty());
+}
+
+#[test]
+fn d2_fires_on_ambient_entropy() {
+    assert_eq!(fired("fn f() { let r = thread_rng(); }\n"), [RuleId::D2]);
+    assert_eq!(fired("fn f() { SystemTime::now(); }\n"), [RuleId::D2]);
+    assert_eq!(fired("fn f() { Instant::now(); }\n"), [RuleId::D2]);
+    assert_eq!(fired("fn f() { std::env::var(\"X\"); }\n"), [RuleId::D2]);
+    // vp-bench measures wall-clock by design.
+    let bench = FileContext::from_rel_path("crates/vp-bench/src/lib.rs");
+    let scan = rules::scan_file(&bench, "fn f() { Instant::now(); }\n");
+    assert!(scan.findings.is_empty());
+}
+
+#[test]
+fn d3_records_merge_defs_and_markers() {
+    let src = "impl Stats {\n    pub fn merge(&mut self, o: &Stats) {}\n}\n";
+    let scan = rules::scan_file(&FileContext::from_rel_path("crates/vp-sim/src/s.rs"), src);
+    assert_eq!(scan.merge_defs.len(), 1);
+    assert_eq!(scan.merge_defs[0].qualified, "Stats::merge");
+    assert!(!scan.merge_defs[0].suppressed);
+
+    let marked = "// vp-lint: merge-tested(Stats::merge)\nfn t() {}\n";
+    let scan = rules::scan_file(&FileContext::from_rel_path("tests/t.rs"), marked);
+    assert_eq!(scan.merge_markers, ["Stats::merge"]);
+
+    // Unresolved defs become findings; marked or name-matched ones do not.
+    let defs = scan_defs(src);
+    assert_eq!(
+        rules::resolve_merge_rule(&defs, &[], &[]).len(),
+        1,
+        "unmarked merge must be a finding"
+    );
+    assert!(rules::resolve_merge_rule(&defs, &["Stats::merge".into()], &[]).is_empty());
+    assert!(rules::resolve_merge_rule(&defs, &[], &["stats_merge_is_commutative".into()])
+        .is_empty());
+}
+
+fn scan_defs(src: &str) -> Vec<rules::MergeDef> {
+    rules::scan_file(&FileContext::from_rel_path("crates/vp-sim/src/s.rs"), src).merge_defs
+}
+
+#[test]
+fn h1_fires_only_in_hot_crates() {
+    let narrowing = "fn f(x: u64) -> u32 { x as u32 }\n";
+    assert_eq!(fired(narrowing), [RuleId::H1]);
+    // Widening casts are fine even in hot crates.
+    assert!(fired("fn f(x: u32) -> u64 { x as u64 }\n").is_empty());
+    // Cold crates are exempt.
+    let cold = FileContext::from_rel_path("crates/vp-geo/src/lib.rs");
+    assert!(rules::scan_file(&cold, narrowing).findings.is_empty());
+}
+
+#[test]
+fn h2_fires_in_libraries_but_not_bins_or_tests() {
+    let src = "fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert_eq!(fired(src), [RuleId::H2]);
+    assert_eq!(fired("fn f(v: Option<u32>) -> u32 { v.expect(\"x\") }\n"), [RuleId::H2]);
+    for path in ["crates/vp-sim/src/main.rs", "crates/vp-sim/src/bin/tool.rs", "crates/vp-sim/tests/t.rs"] {
+        let ctx = FileContext::from_rel_path(path);
+        assert!(rules::scan_file(&ctx, src).findings.is_empty(), "{path} not exempt");
+    }
+    // unwrap_or / unwrap_or_else are not panics.
+    assert!(fired("fn f(v: Option<u32>) -> u32 { v.unwrap_or(0) }\n").is_empty());
+}
+
+#[test]
+fn cfg_test_blocks_are_exempt() {
+    let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f(v: Option<u32>) { v.unwrap(); }\n}\n";
+    assert!(fired(src).is_empty());
+}
+
+#[test]
+fn suppression_forms_standalone_trailing_and_multi_rule() {
+    let standalone =
+        "// vp-lint: allow(d1): justified here.\nuse std::collections::HashMap;\n";
+    assert!(fired(standalone).is_empty());
+
+    let trailing = "fn f(x: u64) -> u32 { x as u32 } // vp-lint: allow(h1): bounded by caller.\n";
+    assert!(fired(trailing).is_empty());
+
+    let multi = "// vp-lint: allow(d2, h1): justified twice.\nfn f(x: u64) -> u32 { (x ^ thread_rng()) as u32 }\n";
+    assert!(fired(multi).is_empty());
+
+    // A standalone allow covers only the next line.
+    let too_far =
+        "// vp-lint: allow(d1): too far away.\n\nuse std::collections::HashMap;\n";
+    assert_eq!(fired(too_far), [RuleId::D1]);
+
+    // An allow for one rule does not cover another.
+    let wrong_rule = "// vp-lint: allow(h1): wrong rule.\nuse std::collections::HashMap;\n";
+    assert_eq!(fired(wrong_rule), [RuleId::D1]);
+}
+
+#[test]
+fn malformed_directives_are_findings_and_unsuppressable() {
+    for src in [
+        "// vp-lint: allow(d1)\nfn f() {}\n",
+        "// vp-lint: allow(bogus): not a rule.\nfn f() {}\n",
+        "// vp-lint: frobnicate(x)\nfn f() {}\n",
+    ] {
+        assert_eq!(fired(src), [RuleId::Directive], "on {src:?}");
+    }
+}
+
+#[test]
+fn literals_and_comments_never_fire() {
+    let src = concat!(
+        "// HashMap thread_rng() x.unwrap() y as u32\n",
+        "fn f() -> String { \"HashMap::new().unwrap() as u32\".into() }\n",
+    );
+    assert!(fired(src).is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Totality: the pipeline never panics, for any input.
+// ---------------------------------------------------------------------
+
+/// Fragments that stress the literal/comment/directive edges when glued
+/// together in arbitrary order.
+const FRAGMENTS: [&str; 19] = [
+    "\"", "'", "r#\"", "\"#", "/*", "*/", "//", "\\", "\n",
+    "b'x'", "as u32", "unwrap()", "HashMap", "vp-lint: allow(d1):",
+    "pub fn merge", "impl T {", "}", "#[cfg(test)]", "ident",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Byte soup in, findings (or nothing) out — never a panic, and the
+    /// mask always preserves length and line structure. The character
+    /// class covers every delimiter the lexer special-cases.
+    #[test]
+    fn pipeline_is_total_on_arbitrary_input(
+        src in "[\"'/*\\\\a-z0-9 \n{}().:#!rbc_-]{0,120}",
+    ) {
+        let masked = lexer::mask(&src);
+        prop_assert_eq!(masked.code.chars().count(), src.chars().count());
+        prop_assert_eq!(
+            masked.code.matches('\n').count(),
+            src.matches('\n').count()
+        );
+        let _ = lexer::tokenize(&masked);
+        let ctx = FileContext::from_rel_path("crates/vp-sim/src/fuzz.rs");
+        let _ = rules::scan_file(&ctx, &src);
+    }
+
+    /// Rust-flavoured soup: token-level fragments in arbitrary order.
+    #[test]
+    fn pipeline_is_total_on_rusty_fragments(
+        picks in collection::vec(0usize..FRAGMENTS.len(), 0..40),
+    ) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let masked = lexer::mask(&src);
+        let _ = lexer::tokenize(&masked);
+        let ctx = FileContext::from_rel_path("crates/verfploeter/src/fuzz.rs");
+        let _ = rules::scan_file(&ctx, &src);
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod addr;
 pub mod asn;
+pub mod conv;
 pub mod error;
 pub mod pacing;
 pub mod perm;

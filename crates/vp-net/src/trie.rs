@@ -121,6 +121,7 @@ impl<T> PrefixTrie<T> {
             }
         }
         best.map(|(len, v)| {
+            // vp-lint: allow(h2): len is depth + 1 with depth < 32, so always valid.
             let p = Prefix::new(ip, len).expect("len <= 32");
             (p, v)
         })
@@ -142,6 +143,7 @@ impl<T> PrefixTrie<T> {
                     }
                 }
                 if let Some(v) = n.value.as_ref() {
+                    // vp-lint: allow(h2): the DFS never descends past depth 32.
                     let p = Prefix::new(Ipv4Addr(addr), depth).expect("depth <= 32");
                     return Some((p, v));
                 }

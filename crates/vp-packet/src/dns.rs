@@ -481,6 +481,7 @@ impl DnsMessage {
             id,
             flags: DnsFlags::default(),
             questions: vec![DnsQuestion {
+                // vp-lint: allow(h2): parsing a static, well-formed name literal.
                 name: DnsName::from_str("hostname.bind").expect("static name is valid"),
                 qtype: DnsType::Txt,
                 qclass: DnsClass::Chaos,

@@ -25,6 +25,8 @@
 //! * [`scenario`] — assembled worlds: the two-site B-Root deployment and
 //!   the nine-site Tangled testbed of Table 3.
 
+#![deny(unused_must_use)]
+
 pub mod engine;
 pub mod faults;
 pub mod latency;

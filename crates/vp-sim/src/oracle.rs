@@ -70,7 +70,7 @@ impl FlippingOracle {
     }
 
     fn round_of(&self, at: SimTime) -> u32 {
-        (at.as_nanos() / self.round.as_nanos()) as u32
+        vp_net::conv::sat_u32(at.as_nanos() / self.round.as_nanos())
     }
 }
 

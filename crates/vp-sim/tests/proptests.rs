@@ -122,3 +122,64 @@ fn service_registration_order_is_stable() {
     assert!(sim.captures(a).is_empty());
     assert!(sim.captures(b).is_empty());
 }
+
+// Merge algebra for the per-shard statistics counters.
+// vp-lint: merge-tested(SimStats::merge)
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `SimStats::merge` is field-wise addition, so folding any permutation
+    /// of shard stats must give the same totals, and grouping must not
+    /// matter: (a + b) + c == a + (b + c).
+    #[test]
+    fn sim_stats_merge_is_associative_and_commutative(
+        counts in prop::collection::vec(
+            (
+                (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+                (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+                (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+            ),
+            1..6,
+        ),
+    ) {
+        let stats: Vec<vp_sim::SimStats> = counts
+            .iter()
+            .map(|&((i, dh, ds), (l, r, d), (a, u, n))| vp_sim::SimStats {
+                injected: i,
+                delivered_to_hosts: dh,
+                delivered_to_sites: ds,
+                lost: l,
+                replies: r,
+                duplicates: d,
+                aliases: a,
+                unsolicited: u,
+                undeliverable: n,
+            })
+            .collect();
+
+        // Forward and reverse folds agree.
+        let mut forward = vp_sim::SimStats::default();
+        for s in &stats {
+            forward.merge(s);
+        }
+        let mut reverse = vp_sim::SimStats::default();
+        for s in stats.iter().rev() {
+            reverse.merge(s);
+        }
+        prop_assert_eq!(forward, reverse);
+
+        // Associativity on the first three (padded with defaults).
+        let a = *stats.first().unwrap_or(&vp_sim::SimStats::default());
+        let b = *stats.get(1).unwrap_or(&vp_sim::SimStats::default());
+        let c = *stats.get(2).unwrap_or(&vp_sim::SimStats::default());
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+    }
+}

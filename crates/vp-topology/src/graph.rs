@@ -1,6 +1,6 @@
 //! The AS-level graph: tiers, Gao–Rexford relationships and PoPs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::distributions::{Distribution, WeightedIndex};
 use rand::Rng;
@@ -62,7 +62,7 @@ pub struct AsGraph {
     pub pops: Vec<Pop>,
     /// For each directed adjacency `(a, b)`: the PoP of `a` where the
     /// session to `b` lands. Both directions are always present.
-    pub adjacency_pop: HashMap<(Asn, Asn), PopId>,
+    pub adjacency_pop: BTreeMap<(Asn, Asn), PopId>,
 }
 
 impl AsGraph {
@@ -104,6 +104,7 @@ impl AsGraph {
         );
         let world = countries();
         let user_weights: Vec<f64> = world.iter().map(|c| c.user_weight).collect();
+        // vp-lint: allow(h2): the country table is a static constant with positive weights.
         let country_dist = WeightedIndex::new(&user_weights).expect("non-empty country table");
 
         // Tier-1s live where the big backbones are.
@@ -112,6 +113,7 @@ impl AsGraph {
             (0..cfg.num_tier1)
                 .map(|i| {
                     let code = backbone[i % backbone.len()];
+                    // vp-lint: allow(h2): every code above exists in the static country table.
                     vp_geo::world::country_by_code(code).expect("backbone country").0
                 })
                 .collect()
@@ -226,8 +228,8 @@ impl AsGraph {
 
         // Stubs buy from transit ASes (preferring their own continent) and
         // occasionally directly from tier-1s.
-        let transit_by_continent: HashMap<Continent, Vec<usize>> = {
-            let mut m: HashMap<Continent, Vec<usize>> = HashMap::new();
+        let transit_by_continent: BTreeMap<Continent, Vec<usize>> = {
+            let mut m: BTreeMap<Continent, Vec<usize>> = BTreeMap::new();
             for i in transit_range.clone() {
                 m.entry(ases[i].country.get().continent).or_default().push(i);
             }
@@ -269,7 +271,9 @@ impl AsGraph {
         }
 
         // Materialize edges (dedup parallel edges; provider wins over peer).
-        let mut seen: HashMap<(usize, usize), EdgeKind> = HashMap::new();
+        // A BTreeMap keyed on the normalized pair gives the sorted edge
+        // order directly — no post-hoc sort needed.
+        let mut seen: BTreeMap<(usize, usize), EdgeKind> = BTreeMap::new();
         for (a, b, kind) in edges {
             let key = (a.min(b), a.max(b));
             let entry = seen.entry(key).or_insert(kind);
@@ -277,13 +281,8 @@ impl AsGraph {
                 *entry = kind;
             }
         }
-        let mut adjacency_pop: HashMap<(Asn, Asn), PopId> = HashMap::new();
-        let seen_edges: Vec<((usize, usize), EdgeKind)> = {
-            let mut v: Vec<_> = seen.into_iter().collect();
-            v.sort_by_key(|(k, _)| *k);
-            v
-        };
-        for ((lo, hi), kind) in seen_edges {
+        let mut adjacency_pop: BTreeMap<(Asn, Asn), PopId> = BTreeMap::new();
+        for ((lo, hi), kind) in seen {
             // The original orientation for provider edges was (provider=a,
             // customer=b) with a < b by construction above, because
             // providers always have smaller index.

@@ -1,6 +1,6 @@
 //! The assembled synthetic Internet.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
@@ -23,7 +23,7 @@ pub struct Internet {
     pub geodb: GeoDb,
     /// Longest-prefix-match table from announced prefix to origin AS.
     pub origin_table: PrefixTrie<Asn>,
-    block_index: HashMap<Block24, u32>,
+    block_index: BTreeMap<Block24, u32>,
     prefixes_per_as: Vec<u32>,
 }
 

@@ -61,6 +61,7 @@ pub fn allocate_prefixes<R: Rng>(
 ) -> Vec<PrefixInfo> {
     let lens: Vec<u8> = LENGTH_WEIGHTS.iter().map(|(l, _)| *l).collect();
     let len_dist = WeightedIndex::new(LENGTH_WEIGHTS.iter().map(|(_, w)| *w))
+        // vp-lint: allow(h2): LENGTH_WEIGHTS is a static table of positive weights.
         .expect("static weights are valid");
 
     // Desired prefix counts per AS: Pareto-tailed, scaled by tier.
@@ -93,9 +94,8 @@ pub fn allocate_prefixes<R: Rng>(
             }
             // Stubs' first prefix skews small; otherwise sample the mix.
             let len = if round == 0 && graph.ases[i].tier == AsTier::Stub && rng.gen_bool(0.7) {
-                *[21u8, 22, 22, 23, 23, 24]
-                    .get(rng.gen_range(0..6usize))
-                    .expect("static index")
+                const SMALL: [u8; 6] = [21, 22, 22, 23, 23, 24];
+                SMALL[rng.gen_range(0..SMALL.len())]
             } else {
                 lens[len_dist.sample(rng)]
             };
@@ -107,6 +107,7 @@ pub fn allocate_prefixes<R: Rng>(
             }
             cursor = aligned + size;
             let prefix = Prefix::new(Ipv4Addr((aligned as u32) << 8), len)
+                // vp-lint: allow(h2): len comes from the static tables above, all <= 24.
                 .expect("generated length is valid");
             out.push(PrefixInfo {
                 prefix,

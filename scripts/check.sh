@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build, test, and the determinism-and-hygiene lint.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo run -q -p vp-lint -- --workspace
+echo "check.sh: build + tests + lint all clean"

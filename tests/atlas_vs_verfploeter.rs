@@ -4,7 +4,7 @@
 //! underlying catchments — Atlas sparsely from physical VPs, Verfploeter
 //! densely from passive VPs. Where both observe a block, they must agree.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use verfploeter_suite::atlas::{run_scan as atlas_scan, AtlasConfig, AtlasPanel};
 use verfploeter_suite::hitlist::{Hitlist, HitlistConfig};
@@ -81,7 +81,7 @@ fn verfploeter_coverage_dominates() {
         "STA-T",
         34,
     );
-    let responding_blocks: HashSet<_> = atlas
+    let responding_blocks: BTreeSet<_> = atlas
         .outcomes
         .iter()
         .filter(|o| o.site.is_some())

@@ -1,0 +1,53 @@
+//! Tier-1 lint gate: the workspace must be clean under `vp-lint`, and the
+//! analyzer must still detect the seeded violations in its fixture
+//! workspace (so a silently broken analyzer cannot fake a clean repo).
+
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Every `.rs` file in the workspace passes the determinism-and-hygiene
+/// rules with zero unsuppressed findings.
+#[test]
+fn workspace_is_lint_clean() {
+    let findings = vp_lint::scan_workspace(repo_root()).expect("scan workspace");
+    assert!(
+        findings.is_empty(),
+        "vp-lint found unsuppressed issues:\n{}",
+        vp_lint::to_text(&findings)
+    );
+}
+
+/// The analyzer still fires on the seeded fixture workspace. The exact
+/// count pins the rule set: 15 findings in violations.rs (4 d1, 3 d2,
+/// 1 d3, 5 h1, 2 h2) plus 3 malformed-directive findings in malformed.rs.
+#[test]
+fn analyzer_detects_seeded_fixture_violations() {
+    let ws = repo_root().join("crates/vp-lint/fixtures/ws");
+    let findings = vp_lint::scan_workspace(&ws).expect("scan fixture ws");
+    assert_eq!(
+        findings.len(),
+        18,
+        "fixture finding count drifted:\n{}",
+        vp_lint::to_text(&findings)
+    );
+    let count = |rule: &str| {
+        findings
+            .iter()
+            .filter(|f| f.rule.name() == rule)
+            .count()
+    };
+    assert_eq!(count("d1"), 4);
+    assert_eq!(count("d2"), 3);
+    assert_eq!(count("d3"), 1);
+    assert_eq!(count("h1"), 5);
+    assert_eq!(count("h2"), 2);
+    assert_eq!(count("directive"), 3);
+    // Everything seeded lives in violations.rs / malformed.rs; the
+    // suppressed.rs and fixture_tests.rs files must contribute nothing.
+    assert!(findings
+        .iter()
+        .all(|f| f.file.ends_with("violations.rs") || f.file.ends_with("malformed.rs")));
+}
