@@ -61,4 +61,4 @@ pub use catchment::CatchmentMap;
 pub use cleaning::{clean, CleaningStats};
 pub use collector::{forward_to_central, RawReply};
 pub use prober::{ProbeConfig, Prober};
-pub use scan::{run_scan, run_scan_sharded, ScanConfig, ScanResult};
+pub use scan::{run_scan, run_scan_sharded, ScanConfig, ScanObs, ScanResult};

@@ -23,6 +23,10 @@ pub struct ScanConfig {
     pub probe: ProbeConfig,
     /// Late-reply cutoff from measurement start (15 minutes in §4).
     pub cutoff: SimDuration,
+    /// Trace detail recorded into [`ScanResult::obs`]. Affects only the
+    /// trace summary (spans/events), never the metrics registry or any
+    /// measurement output.
+    pub trace: vp_obs::TraceLevel,
 }
 
 impl Default for ScanConfig {
@@ -31,6 +35,7 @@ impl Default for ScanConfig {
             name: "SBV".to_owned(),
             probe: ProbeConfig::default(),
             cutoff: SimDuration::from_mins(15),
+            trace: vp_obs::TraceLevel::Summary,
         }
     }
 }
@@ -52,6 +57,117 @@ pub struct ScanResult {
     pub rtts: BTreeMap<Block24, SimDuration>,
     /// Simulator counters for the round.
     pub sim_stats: vp_sim::SimStats,
+    /// Observability snapshot for the round (metrics + trace).
+    pub obs: ScanObs,
+}
+
+/// The observability snapshot of one scan: a metrics registry, a trace
+/// summary, and the shard layout.
+///
+/// The **registry** holds only shard-count-invariant series — pure sums of
+/// per-packet or per-index contributions — so `run_scan` and
+/// `run_scan_sharded(K)` produce byte-identical registries for every K
+/// (asserted by the sharded-equivalence suite via
+/// [`vp_obs::Registry::to_canonical_json`]). Anything that legitimately
+/// depends on the shard layout (per-shard probe counts, per-engine run
+/// spans in [`ScanObs::trace`]) lives *outside* the registry.
+#[derive(Debug, Clone)]
+pub struct ScanObs {
+    /// Merged metrics: `scan.*`, `sim.*`, `clean.*`, `catchment.*`,
+    /// `engine.*` series. Shard-count-invariant.
+    pub registry: vp_obs::Registry,
+    /// Merged span aggregates and (at `Full` level) events. Per-engine
+    /// spans like `engine.run` appear once per engine, so this is NOT
+    /// shard-count-invariant — diagnostics, not results.
+    pub trace: vp_obs::TraceSummary,
+    /// Sim-time at which the last event was processed (max across shards;
+    /// equals the serial engine's final clock, and is asserted so).
+    pub sim_end: SimTime,
+    /// Probes assigned per shard, in shard order (length 1 for the serial
+    /// path). Feeds the shard-balance section of run reports.
+    pub shard_probes: Vec<u64>,
+}
+
+/// RTT histogram bucket bounds in nanoseconds: 1 ms to ~25 min, growing
+/// ×1.5 per bucket — wide enough for every in-cutoff reply at fine-grained
+/// low-latency resolution.
+pub fn rtt_bucket_bounds() -> Vec<u64> {
+    vp_obs::Histogram::exponential(1_000_000, 3, 2, 36)
+        .bounds()
+        .to_vec()
+}
+
+/// Builds the scan's observability snapshot from per-engine sidecars plus
+/// the final (already merged, shard-invariant) round artifacts. Shared by
+/// the serial and sharded paths so their registries agree byte for byte.
+#[allow(clippy::too_many_arguments)]
+fn finish_obs(
+    engines: Vec<(vp_obs::Registry, vp_obs::TraceSummary)>,
+    sim_end: SimTime,
+    shard_probes: Vec<u64>,
+    probes_sent: u64,
+    sim_stats: &vp_sim::SimStats,
+    cleaning: &CleaningStats,
+    catchments: &CatchmentMap,
+    rtts: &BTreeMap<Block24, SimDuration>,
+    announcement: &Announcement,
+) -> ScanObs {
+    let mut registry = vp_obs::Registry::new();
+    let mut trace = vp_obs::TraceSummary::default();
+    for (engine_registry, engine_trace) in &engines {
+        registry.merge(engine_registry);
+        trace.merge(engine_trace);
+    }
+
+    let site_name = |idx: usize| {
+        announcement
+            .sites
+            .get(idx)
+            .map_or("unknown", |s| s.name.as_str())
+    };
+
+    registry.counter_add("scan.probes_sent", &[], probes_sent);
+    registry.counter_add("scan.blocks_mapped", &[], catchments.len() as u64);
+
+    registry.counter_add("sim.injected", &[], sim_stats.injected);
+    registry.counter_add("sim.replies", &[], sim_stats.replies);
+    registry.counter_add("sim.lost", &[], sim_stats.lost);
+    registry.counter_add("sim.duplicates", &[], sim_stats.duplicates);
+    registry.counter_add("sim.aliases", &[], sim_stats.aliases);
+    registry.counter_add("sim.unsolicited", &[], sim_stats.unsolicited);
+    registry.counter_add("sim.undeliverable", &[], sim_stats.undeliverable);
+    registry.counter_add("sim.delivered_to_hosts", &[], sim_stats.delivered_to_hosts);
+    registry.counter_add("sim.delivered_to_sites", &[], sim_stats.delivered_to_sites);
+    for (idx, n) in sim_stats.per_site_captures.iter().enumerate() {
+        registry.counter_add("sim.site_captures", &[("site", site_name(idx))], *n);
+    }
+
+    registry.counter_add("clean.total", &[], cleaning.total);
+    registry.counter_add("clean.duplicates", &[], cleaning.duplicates);
+    registry.counter_add("clean.foreign", &[], cleaning.foreign);
+    registry.counter_add("clean.unprobed_source", &[], cleaning.unprobed_source);
+    registry.counter_add("clean.late", &[], cleaning.late);
+    registry.counter_add("clean.kept", &[], cleaning.kept);
+
+    for (site, count) in catchments.site_counts() {
+        registry.counter_add(
+            "catchment.blocks",
+            &[("site", site_name(site.index()))],
+            count as u64,
+        );
+    }
+
+    let bounds = rtt_bucket_bounds();
+    for rtt in rtts.values() {
+        registry.histogram_observe("scan.rtt_ns", &[], &bounds, rtt.as_nanos());
+    }
+
+    ScanObs {
+        registry,
+        trace,
+        sim_end,
+        shard_probes,
+    }
 }
 
 impl ScanResult {
@@ -87,6 +203,7 @@ pub fn run_scan(
     sim_seed: u64,
 ) -> ScanResult {
     let mut sim = NetworkSim::new(world, faults, sim_seed);
+    sim.attach_obs(config.trace);
     let svc = sim.register_service(announcement.clone(), oracle, false);
     let source = announcement.measurement_addr();
 
@@ -107,13 +224,34 @@ pub fn run_scan(
     let central = forward_to_central(by_site);
     let (clean_replies, cleaning) = clean(&central, hitlist, config.probe.ident, start, config.cutoff);
     let catchments = CatchmentMap::from_replies(&config.name, &clean_replies, hitlist);
-    let rtts = clean_replies
+    let rtts: BTreeMap<Block24, SimDuration> = clean_replies
         .iter()
         .map(|r| {
             let block = hitlist.entry(conv::sat_usize(r.index)).block;
             (block, r.at.since(send_time[conv::sat_usize(r.index)]))
         })
         .collect();
+
+    let sim_stats = sim.stats();
+    let sim_end = sim.now();
+    let engines = match sim.take_obs() {
+        Some(engine_obs) => {
+            let engine_trace = engine_obs.tracer.drain();
+            vec![(engine_obs.registry, engine_trace)]
+        }
+        None => Vec::new(),
+    };
+    let obs = finish_obs(
+        engines,
+        sim_end,
+        vec![probes_sent],
+        probes_sent,
+        &sim_stats,
+        &cleaning,
+        &catchments,
+        &rtts,
+        announcement,
+    );
 
     ScanResult {
         catchments,
@@ -122,7 +260,8 @@ pub fn run_scan(
         started: start,
         last_probe,
         rtts,
-        sim_stats: sim.stats(),
+        sim_stats,
+        obs,
     }
 }
 
@@ -196,6 +335,12 @@ pub fn run_scan_sharded(
         cleaning: CleaningStats,
         rtts: Vec<(Block24, SimDuration)>,
         sim_stats: vp_sim::SimStats,
+        probes: u64,
+        sim_end: SimTime,
+        // Tracers hold `Rc` state, so engines drain to a detached
+        // (Send) registry + summary before crossing the thread boundary.
+        obs_registry: vp_obs::Registry,
+        obs_trace: vp_obs::TraceSummary,
     }
     let workers = std::thread::available_parallelism()
         .map_or(1, |n| n.get())
@@ -217,8 +362,10 @@ pub fn run_scan_sharded(
                         .map(|(k, shard_probes)| {
                             let mut sim =
                                 NetworkSim::new_shard(world, faults.clone(), sim_seed, k as u64);
+                            sim.attach_obs(config.trace);
                             let svc =
                                 sim.register_service(announcement.clone(), make_oracle(), false);
+                            let probes = shard_probes.len() as u64;
                             for p in shard_probes {
                                 sim.send_at(p.at, p.packet);
                             }
@@ -243,6 +390,14 @@ pub fn run_scan_sharded(
                                     (block, r.at.since(send_time[conv::sat_usize(r.index)]))
                                 })
                                 .collect();
+                            let sim_end = sim.now();
+                            let (obs_registry, obs_trace) = match sim.take_obs() {
+                                Some(engine_obs) => {
+                                    let trace = engine_obs.tracer.drain();
+                                    (engine_obs.registry, trace)
+                                }
+                                None => Default::default(),
+                            };
                             (
                                 k,
                                 ShardOutcome {
@@ -250,6 +405,10 @@ pub fn run_scan_sharded(
                                     cleaning,
                                     rtts,
                                     sim_stats: sim.stats(),
+                                    probes,
+                                    sim_end,
+                                    obs_registry,
+                                    obs_trace,
                                 },
                             )
                         })
@@ -271,12 +430,31 @@ pub fn run_scan_sharded(
     let mut cleaning = CleaningStats::default();
     let mut rtts = BTreeMap::new();
     let mut sim_stats = vp_sim::SimStats::default();
+    let mut sim_end = SimTime::ZERO;
+    let mut shard_probes = Vec::with_capacity(outcomes.len());
+    let mut engines = Vec::with_capacity(outcomes.len());
     for (_, o) in &outcomes {
         catchments.merge(&o.catchments);
         cleaning.merge(&o.cleaning);
         rtts.extend(o.rtts.iter().copied());
         sim_stats.merge(&o.sim_stats);
+        // The union of shard event streams is the serial event stream, so
+        // the max final clock equals the serial engine's final clock.
+        sim_end = sim_end.max(o.sim_end);
+        shard_probes.push(o.probes);
+        engines.push((o.obs_registry.clone(), o.obs_trace.clone()));
     }
+    let obs = finish_obs(
+        engines,
+        sim_end,
+        shard_probes,
+        probes_sent,
+        &sim_stats,
+        &cleaning,
+        &catchments,
+        &rtts,
+        announcement,
+    );
 
     ScanResult {
         catchments,
@@ -286,6 +464,7 @@ pub fn run_scan_sharded(
         last_probe,
         rtts,
         sim_stats,
+        obs,
     }
 }
 
@@ -459,6 +638,15 @@ mod tests {
             assert_eq!(b.rtts.get(block), Some(rtt), "rtt of {block}");
         }
         assert_eq!(a.sim_stats, b.sim_stats, "sim stats differ");
+        // The observability layer must not break under sharding either:
+        // metrics registries are byte-identical (trace summaries are not
+        // compared — per-engine spans legitimately differ per K).
+        assert_eq!(
+            a.obs.registry.to_canonical_json(),
+            b.obs.registry.to_canonical_json(),
+            "obs registries differ"
+        );
+        assert_eq!(a.obs.sim_end, b.obs.sim_end, "sim end times differ");
     }
 
     /// The fast equivalence gate: on the tiny topology, the sharded scan
@@ -491,7 +679,92 @@ mod tests {
                 shards,
             );
             assert_results_identical(&serial, &sharded);
+            // Shard bookkeeping: every probe is owned by exactly one shard.
+            assert_eq!(sharded.obs.shard_probes.len(), shards);
+            assert_eq!(
+                sharded.obs.shard_probes.iter().sum::<u64>(),
+                sharded.probes_sent
+            );
         }
+        assert_eq!(serial.obs.shard_probes, vec![serial.probes_sent]);
+    }
+
+    /// The registry carries the round's headline numbers, consistent with
+    /// the structured result fields.
+    #[test]
+    fn scan_obs_registry_reflects_result() {
+        let (s, hl) = setup();
+        let result = run_scan(
+            &s.world,
+            &hl,
+            &s.announcement,
+            Box::new(StaticOracle::new(s.routing())),
+            FaultConfig::default(),
+            SimTime::ZERO,
+            &ScanConfig::default(),
+            5,
+        );
+        let reg = &result.obs.registry;
+        assert_eq!(reg.counter_value("scan.probes_sent", &[]), result.probes_sent);
+        assert_eq!(
+            reg.counter_value("scan.blocks_mapped", &[]),
+            result.catchments.len() as u64
+        );
+        assert_eq!(reg.counter_value("clean.kept", &[]), result.cleaning.kept);
+        assert_eq!(
+            reg.counter_value("sim.injected", &[]),
+            result.sim_stats.injected
+        );
+        // Per-site capture counters sum to total site deliveries.
+        let per_site: u64 = s
+            .announcement
+            .sites
+            .iter()
+            .map(|site| reg.counter_value("sim.site_captures", &[("site", site.name.as_str())]))
+            .sum();
+        assert_eq!(per_site, result.sim_stats.delivered_to_sites);
+        // Catchment block counters match the map's site counts.
+        for (site, count) in result.catchments.site_counts() {
+            let name = s.announcement.sites[site.index()].name.as_str();
+            assert_eq!(
+                reg.counter_value("catchment.blocks", &[("site", name)]),
+                count as u64
+            );
+        }
+        // The RTT histogram saw every mapped block once.
+        let hist = result.obs.registry.histogram("scan.rtt_ns", &[]);
+        assert_eq!(hist.map(|h| h.count()), Some(result.rtts.len() as u64));
+        // The engine ran and profiled its event loop in sim-time.
+        assert!(reg.counter_value("engine.events", &[]) > 0);
+        let span = result.obs.trace.spans.get("engine.run");
+        assert!(span.is_some_and(|agg| agg.count == 1 && agg.total_nanos > 0));
+        assert!(result.obs.sim_end.as_nanos() > 0);
+    }
+
+    /// `trace: Full` records bounded events without changing any
+    /// measurement output or the metrics registry.
+    #[test]
+    fn full_trace_level_does_not_change_results() {
+        let (s, hl) = setup();
+        let run = |trace| {
+            run_scan(
+                &s.world,
+                &hl,
+                &s.announcement,
+                Box::new(StaticOracle::new(s.routing())),
+                FaultConfig::default(),
+                SimTime::ZERO,
+                &ScanConfig {
+                    trace,
+                    ..ScanConfig::default()
+                },
+                13,
+            )
+        };
+        let summary = run(vp_obs::TraceLevel::Summary);
+        let full = run(vp_obs::TraceLevel::Full);
+        assert_results_identical(&summary, &full);
+        assert!(summary.obs.trace.events.is_empty());
     }
 
     #[test]

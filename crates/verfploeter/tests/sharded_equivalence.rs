@@ -75,6 +75,18 @@ fn assert_identical(serial: &ScanResult, sharded: &ScanResult, label: &str) {
             "{label}: rtt of {block}"
         );
     }
+    // The merged per-shard metrics registries must fold to the exact bytes
+    // of the serial registry (trace summaries are exempt: per-engine spans
+    // legitimately vary with the shard layout).
+    assert_eq!(
+        serial.obs.registry.to_canonical_json(),
+        sharded.obs.registry.to_canonical_json(),
+        "{label}: obs registries"
+    );
+    assert_eq!(
+        serial.obs.sim_end, sharded.obs.sim_end,
+        "{label}: final sim clock"
+    );
 }
 
 /// Runs the full equivalence matrix over one scenario.

@@ -159,6 +159,7 @@ fn retry_coverage() {
                     ..ProbeConfig::default()
                 },
                 cutoff: SimDuration::from_mins(15),
+                ..ScanConfig::default()
             },
             seed,
         )

@@ -1,0 +1,154 @@
+//! Wall-clock baseline for the sharded scan engine: `BENCH_scan.json`.
+//!
+//! Runs the 15k-target benchmark scan serially and at K ∈ {2, 4, 8}
+//! shards, folds the per-rep wall times into a [`vp_obs::Histogram`]
+//! (the same type the run reports use), and writes median/p90 per K to
+//! `BENCH_scan.json` so future PRs have a perf trajectory to compare
+//! against. Every rep also cross-checks that the sharded catchment map
+//! stays bit-identical to the serial one — a benchmark of a wrong result
+//! would be worse than no benchmark.
+//!
+//! Run with: `cargo run --release -p vp-bench --bin bench_scan`
+//! (`--reps <n>` to change the per-K repetition count, `--out <path>`
+//! to redirect the artifact).
+//!
+//! vp-bench is the one crate allowed to read wall clocks (lint rules
+//! d2/d4): timing benchmarks is exactly what real time is for.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use serde_json::Value;
+use vp_bench::{bench_hitlist, bench_scenario};
+use vp_net::SimTime;
+use vp_obs::Histogram;
+use vp_sim::{CatchmentOracle, FaultConfig, StaticOracle};
+use verfploeter::scan::{run_scan, run_scan_sharded, ScanConfig, ScanResult};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// 1ms → ~90min in ×1.5 steps: fine enough that median/p90 of a scan
+/// that takes tens of ms to seconds land in distinct buckets.
+fn wall_time_buckets() -> Vec<u64> {
+    Histogram::exponential(1_000_000, 3, 2, 40).bounds().to_vec()
+}
+
+fn scan_once(shards: usize, seed: u64) -> (ScanResult, u64) {
+    let s = bench_scenario(33);
+    let hl = bench_hitlist(&s);
+    let table = s.routing();
+    let config = ScanConfig::default();
+    let start = Instant::now();
+    let result = if shards == 1 {
+        run_scan(
+            &s.world,
+            &hl,
+            &s.announcement,
+            Box::new(StaticOracle::new(table)),
+            FaultConfig::default(),
+            SimTime::ZERO,
+            &config,
+            seed,
+        )
+    } else {
+        run_scan_sharded(
+            &s.world,
+            &hl,
+            &s.announcement,
+            &|| Box::new(StaticOracle::new(table.clone())) as Box<dyn CatchmentOracle>,
+            FaultConfig::default(),
+            SimTime::ZERO,
+            &config,
+            seed,
+            shards,
+        )
+    };
+    (result, start.elapsed().as_nanos() as u64)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut reps: u32 = 5;
+    let mut out = "BENCH_scan.json".to_owned();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reps" => {
+                i += 1;
+                reps = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&r| r > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--reps wants a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out wants a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (supported: --reps, --out)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // Fixed reference for the bit-identity cross-check (and a warmup).
+    let (reference, _) = scan_once(1, 0xbe9c);
+    let targets = reference.probes_sent;
+    println!("bench_scan: {targets} targets, {reps} reps per K");
+
+    let mut series = Vec::new();
+    for shards in SHARD_COUNTS {
+        let mut hist = Histogram::new(wall_time_buckets());
+        for rep in 0..reps {
+            let (result, wall) = scan_once(shards, 0xbe9c);
+            assert_eq!(
+                result.catchments.len(),
+                reference.catchments.len(),
+                "K={shards} rep={rep}: catchment map diverged from serial"
+            );
+            assert_eq!(
+                result.obs.registry.to_canonical_json(),
+                reference.obs.registry.to_canonical_json(),
+                "K={shards} rep={rep}: metrics registry diverged from serial"
+            );
+            hist.observe(wall);
+        }
+        let median = hist.quantile(0.5);
+        let p90 = hist.quantile(0.9);
+        println!(
+            "  K={shards}: median {:.1}ms  p90 {:.1}ms  (min {:.1}ms, max {:.1}ms)",
+            median as f64 / 1e6,
+            p90 as f64 / 1e6,
+            hist.min() as f64 / 1e6,
+            hist.max() as f64 / 1e6,
+        );
+        let mut entry = BTreeMap::new();
+        entry.insert("shards".to_owned(), Value::U64(shards as u64));
+        entry.insert("reps".to_owned(), Value::U64(reps as u64));
+        entry.insert("median_ns".to_owned(), Value::U64(median));
+        entry.insert("p90_ns".to_owned(), Value::U64(p90));
+        entry.insert("min_ns".to_owned(), Value::U64(hist.min()));
+        entry.insert("max_ns".to_owned(), Value::U64(hist.max()));
+        series.push(Value::Object(entry));
+    }
+
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "schema".to_owned(),
+        Value::Str("vp-bench-scan/v1".to_owned()),
+    );
+    doc.insert("benchmark".to_owned(), Value::Str("run_scan".to_owned()));
+    doc.insert("targets".to_owned(), Value::U64(targets));
+    doc.insert("series".to_owned(), Value::Array(series));
+    let text = serde_json::to_string_pretty(&Value::Object(doc)).expect("serialize");
+    std::fs::write(&out, text).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}

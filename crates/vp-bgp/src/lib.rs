@@ -33,4 +33,4 @@ pub mod routing;
 
 pub use announce::{Announcement, Site, SiteId};
 pub use dynamics::FlipModel;
-pub use routing::{BgpSim, Candidate, RouteLevel, RoutingTable};
+pub use routing::{BgpSim, Candidate, RouteLevel, RouteObs, RoutingTable};

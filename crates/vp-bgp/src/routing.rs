@@ -101,6 +101,49 @@ impl RoutingTable {
     }
 }
 
+/// Work counters for one [`BgpSim::route`] propagation — the phase
+/// profiler's view of route convergence cost. Purely derived from the
+/// graph and announcement, so identical across reruns; recorded into a
+/// `vp_obs::Registry` with [`RouteObs::record`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouteObs {
+    /// ASes that converged on a route.
+    pub ases_routed: u64,
+    /// ASes left with no route to the prefix.
+    pub unreachable: u64,
+    /// Heap pops in the customer-route Dijkstra (stage 1), stale included.
+    pub heap_pops_customer: u64,
+    /// Heap pops in the provider-route descent (stage 3), stale included.
+    pub heap_pops_provider: u64,
+    /// Candidate routes retained across all ASes (strict + slack).
+    pub candidates: u64,
+    /// Slack candidates among those (hot-potato-only, never re-exported).
+    pub slack_candidates: u64,
+    /// PoPs given a hot-potato site assignment.
+    pub pops_assigned: u64,
+    /// Selected-route counts by [`RouteLevel`]: origin/customer/peer/provider.
+    pub selected_by_level: [u64; 4],
+}
+
+impl RouteObs {
+    /// Folds these counters into a registry as `bgp.*` series.
+    pub fn record(&self, registry: &mut vp_obs::Registry) {
+        registry.counter_add("bgp.ases_routed", &[], self.ases_routed);
+        registry.counter_add("bgp.unreachable", &[], self.unreachable);
+        registry.counter_add("bgp.heap_pops", &[("stage", "customer")], self.heap_pops_customer);
+        registry.counter_add("bgp.heap_pops", &[("stage", "provider")], self.heap_pops_provider);
+        registry.counter_add("bgp.candidates", &[], self.candidates);
+        registry.counter_add("bgp.slack_candidates", &[], self.slack_candidates);
+        registry.counter_add("bgp.pops_assigned", &[], self.pops_assigned);
+        for (level, n) in ["origin", "customer", "peer", "provider"]
+            .iter()
+            .zip(self.selected_by_level)
+        {
+            registry.counter_add("bgp.selected", &[("level", level)], n);
+        }
+    }
+}
+
 /// The simulator: owns decision-policy knobs, borrows the graph.
 #[derive(Debug, Clone)]
 pub struct BgpSim<'a> {
@@ -138,6 +181,13 @@ impl<'a> BgpSim<'a> {
     /// at different costs), peer routes take one lateral hop, provider
     /// routes descend customer links using each AS's pref-selected export.
     pub fn route(&self, ann: &Announcement) -> RoutingTable {
+        self.route_traced(ann).0
+    }
+
+    /// Like [`BgpSim::route`], additionally returning the propagation work
+    /// counters (same table, bit for bit — the counters are observers).
+    pub fn route_traced(&self, ann: &Announcement) -> (RoutingTable, RouteObs) {
+        let mut obs = RouteObs::default();
         let n = self.graph.len();
         const INF: u32 = u32::MAX;
 
@@ -156,6 +206,7 @@ impl<'a> BgpSim<'a> {
             }
         }
         while let Some(Reverse((d, a))) = heap.pop() {
+            obs.heap_pops_customer += 1;
             if d > dist_cust[a as usize] {
                 continue;
             }
@@ -207,6 +258,7 @@ impl<'a> BgpSim<'a> {
             heap.push(Reverse((fixed, a as u32)));
         }
         while let Some(Reverse((d, a))) = heap.pop() {
+            obs.heap_pops_provider += 1;
             let ai = a as usize;
             if popped[ai] {
                 continue;
@@ -406,13 +458,22 @@ impl<'a> BgpSim<'a> {
                 per_pop_site[pop.index()] = Some(hot_potato(pop, local_pool));
                 per_pop_export[pop.index()] = Some(hot_potato(pop, export_pool));
             }
+            obs.pops_assigned += pops.len() as u64;
+            obs.candidates += route.candidates.len() as u64;
+            obs.slack_candidates += (route.candidates.len() - route.strict_count) as u64;
+            obs.selected_by_level[route.level as usize] += 1;
             per_as[a] = Some(route);
         }
 
-        RoutingTable {
-            per_as,
-            per_pop_site,
-        }
+        obs.ases_routed = per_as.iter().filter(|r| r.is_some()).count() as u64;
+        obs.unreachable = n as u64 - obs.ases_routed;
+        (
+            RoutingTable {
+                per_as,
+                per_pop_site,
+            },
+            obs,
+        )
     }
 }
 

@@ -1,7 +1,9 @@
 //! Regenerates the paper's fig2 over the simulated world.
 //! Usage: fig2_broot_maps [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+//! [--obs off|summary|full]
 
 fn main() {
     let lab = vp_experiments::Lab::from_args();
     print!("{}", vp_experiments::experiments::fig2::run(&lab));
+    lab.write_obs_report("fig2_broot_maps");
 }

@@ -1,7 +1,9 @@
 //! Regenerates the paper's fig4 over the simulated world.
 //! Usage: fig4_load_maps [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+//! [--obs off|summary|full]
 
 fn main() {
     let lab = vp_experiments::Lab::from_args();
     print!("{}", vp_experiments::experiments::fig4::run(&lab));
+    lab.write_obs_report("fig4_load_maps");
 }

@@ -1,7 +1,9 @@
 //! Regenerates the paper's fig6 over the simulated world.
 //! Usage: fig6_prepend_load [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+//! [--obs off|summary|full]
 
 fn main() {
     let lab = vp_experiments::Lab::from_args();
     print!("{}", vp_experiments::experiments::fig6::run(&lab));
+    lab.write_obs_report("fig6_prepend_load");
 }

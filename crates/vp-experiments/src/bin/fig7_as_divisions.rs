@@ -1,7 +1,9 @@
 //! Regenerates the paper's fig7 over the simulated world.
 //! Usage: fig7_as_divisions [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+//! [--obs off|summary|full]
 
 fn main() {
     let lab = vp_experiments::Lab::from_args();
     print!("{}", vp_experiments::experiments::fig7::run(&lab));
+    lab.write_obs_report("fig7_as_divisions");
 }

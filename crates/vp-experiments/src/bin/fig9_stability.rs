@@ -1,7 +1,9 @@
 //! Regenerates the paper's fig9 over the simulated world.
 //! Usage: fig9_stability [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+//! [--obs off|summary|full]
 
 fn main() {
     let lab = vp_experiments::Lab::from_args();
     print!("{}", vp_experiments::experiments::fig9::run(&lab));
+    lab.write_obs_report("fig9_stability");
 }

@@ -1,15 +1,58 @@
 //! Runs every table/figure regenerator in one process so expensive
 //! artifacts (worlds, scans, the 96-round stability dataset) are shared.
-//! Usage: run_all [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+//! Usage: run_all [--scale tiny|small|default|paper] [--out <dir>]
+//!                [--obs off|summary|full]
+//!
+//! With `--obs summary` (the default) or `--obs full`, each experiment
+//! writes a `vp-obs-report/v1` run report to
+//! `<out dir or results>/obs/<experiment>.report.json` covering the fresh
+//! work it triggered (cached artifacts are reported by the experiment
+//! that built them).
+
+use vp_obs::{Clock, TraceLevel, Tracer};
+
+/// Wall-clock for the operator-facing progress display. This is the one
+/// place outside `vp-bench` where real time enters the workspace: it
+/// feeds only the stdout timing table, never an artifact — reports carry
+/// sim-time exclusively. Library crates must use injected sim clocks
+/// instead (lint rule d4).
+struct WallClock {
+    epoch: std::time::Instant,
+}
+
+impl WallClock {
+    fn new() -> WallClock {
+        WallClock {
+            // vp-lint: allow(d2): wall-clock progress display only; never reaches an artifact.
+            epoch: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Clock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
 
 fn main() {
     let lab = vp_experiments::Lab::from_args();
+    let tracer = Tracer::new(Box::new(WallClock::new()), TraceLevel::Summary, 16);
     for (name, run) in vp_experiments::experiments::all() {
         println!("==================== {name} ====================");
-        // vp-lint: allow(d2): wall-clock progress display only; never reaches an artifact.
-        let start = std::time::Instant::now();
+        let span = tracer.span(name);
         print!("{}", run(&lab));
-        println!("[{name} completed in {:.1?}]", start.elapsed());
+        span.end();
+        lab.write_obs_report(name);
+        let wall = tracer.summary().spans.get(name).map_or(0, |s| s.max_nanos);
+        println!("[{name} completed in {:.1}s]", wall as f64 / 1e9);
         println!();
     }
+    let total: u64 = tracer
+        .drain()
+        .spans
+        .values()
+        .map(|agg| agg.total_nanos)
+        .sum();
+    println!("[all experiments completed in {:.1}s]", total as f64 / 1e9);
 }

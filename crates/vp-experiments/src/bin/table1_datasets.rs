@@ -1,7 +1,9 @@
 //! Regenerates the paper's table1 over the simulated world.
 //! Usage: table1_datasets [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+//! [--obs off|summary|full]
 
 fn main() {
     let lab = vp_experiments::Lab::from_args();
     print!("{}", vp_experiments::experiments::table1::run(&lab));
+    lab.write_obs_report("table1_datasets");
 }

@@ -1,7 +1,9 @@
 //! Regenerates the paper's table2 over the simulated world.
 //! Usage: table2_load_datasets [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+//! [--obs off|summary|full]
 
 fn main() {
     let lab = vp_experiments::Lab::from_args();
     print!("{}", vp_experiments::experiments::table2::run(&lab));
+    lab.write_obs_report("table2_load_datasets");
 }

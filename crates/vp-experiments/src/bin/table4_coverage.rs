@@ -1,7 +1,9 @@
 //! Regenerates the paper's table4 over the simulated world.
 //! Usage: table4_coverage [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+//! [--obs off|summary|full]
 
 fn main() {
     let lab = vp_experiments::Lab::from_args();
     print!("{}", vp_experiments::experiments::table4::run(&lab));
+    lab.write_obs_report("table4_coverage");
 }

@@ -1,7 +1,9 @@
 //! Regenerates the paper's table5 over the simulated world.
 //! Usage: table5_mappability [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+//! [--obs off|summary|full]
 
 fn main() {
     let lab = vp_experiments::Lab::from_args();
     print!("{}", vp_experiments::experiments::table5::run(&lab));
+    lab.write_obs_report("table5_mappability");
 }

@@ -1,7 +1,9 @@
 //! Regenerates the paper's table6 over the simulated world.
 //! Usage: table6_pct_lax [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
+//! [--obs off|summary|full]
 
 fn main() {
     let lab = vp_experiments::Lab::from_args();
     print!("{}", vp_experiments::experiments::table6::run(&lab));
+    lab.write_obs_report("table6_pct_lax");
 }

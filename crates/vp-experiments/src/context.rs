@@ -10,11 +10,14 @@ use vp_bgp::Announcement;
 use vp_dns::{LoadModel, QueryLog};
 use vp_hitlist::{Hitlist, HitlistConfig};
 use vp_net::{SimDuration, SimTime};
+use vp_obs::TraceLevel;
 use vp_sim::{CatchmentOracle, FaultConfig, FlippingOracle, Scenario, StaticOracle};
 use vp_topology::TopologyConfig;
 use verfploeter::catchment::CatchmentMap;
 use verfploeter::scan::{run_scan, run_scan_sharded, ScanConfig, ScanResult};
 use verfploeter::ProbeConfig;
+
+use crate::obs::{build_report, ObsState, ScanRecord};
 
 /// World sizes. `Default` runs every experiment in minutes in release
 /// mode; `Tiny` is for tests; `Paper` pushes block counts toward the
@@ -92,6 +95,12 @@ const FLIP_SEED: u64 = 0xF11;
 pub struct Lab {
     pub scale: Scale,
     pub out_dir: Option<PathBuf>,
+    /// Observability mode (`--obs off|summary|full`). `Off` disables all
+    /// recording; `Summary` keeps metrics, span aggregates and run
+    /// reports; `Full` additionally retains bounded event rings. The mode
+    /// never changes any experiment output — only what gets observed.
+    pub obs: TraceLevel,
+    obs_state: RefCell<ObsState>,
     broot: OnceCell<Scenario>,
     tangled: OnceCell<Scenario>,
     broot_hitlist: OnceCell<Hitlist>,
@@ -108,6 +117,8 @@ impl Lab {
         Lab {
             scale,
             out_dir: None,
+            obs: TraceLevel::Summary,
+            obs_state: RefCell::new(ObsState::default()),
             broot: OnceCell::new(),
             tangled: OnceCell::new(),
             broot_hitlist: OnceCell::new(),
@@ -120,13 +131,15 @@ impl Lab {
         }
     }
 
-    /// Builds a lab from process args: `--scale tiny|small|default|paper`
-    /// and `--out <dir>` for JSON artifacts.
+    /// Builds a lab from process args: `--scale tiny|small|default|paper`,
+    /// `--out <dir>` for JSON artifacts, and `--obs off|summary|full` for
+    /// the observability mode.
     pub fn from_args() -> Lab {
         // vp-lint: allow(d2): CLI entry point — args select scale/output dir, never a result.
         let args: Vec<String> = std::env::args().collect();
         let mut scale = Scale::Default;
         let mut out = None;
+        let mut obs = TraceLevel::Summary;
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -144,8 +157,18 @@ impl Lab {
                     i += 1;
                     out = args.get(i).map(PathBuf::from);
                 }
+                "--obs" => {
+                    i += 1;
+                    obs = args
+                        .get(i)
+                        .and_then(|s| TraceLevel::parse(s))
+                        .unwrap_or_else(|| {
+                            eprintln!("unknown obs mode; use off|summary|full");
+                            std::process::exit(2);
+                        });
+                }
                 other => {
-                    eprintln!("unknown argument {other:?} (supported: --scale, --out)");
+                    eprintln!("unknown argument {other:?} (supported: --scale, --out, --obs)");
                     std::process::exit(2);
                 }
             }
@@ -153,6 +176,7 @@ impl Lab {
         }
         let mut lab = Lab::new(scale);
         lab.out_dir = out;
+        lab.obs = obs;
         lab
     }
 
@@ -245,7 +269,7 @@ impl Lab {
         if let Some(r) = self.vp_scans.borrow().get(key) {
             return Rc::clone(r);
         }
-        let table = scenario.routing_with_seed(announcement, policy_seed);
+        let (table, route_obs) = scenario.routing_with_seed_traced(announcement, policy_seed);
         let config = ScanConfig {
             name: key.to_owned(),
             probe: ProbeConfig {
@@ -254,10 +278,12 @@ impl Lab {
                 order_seed: 0x0bde ^ ident as u64,
             },
             cutoff: SimDuration::from_mins(15),
+            trace: self.obs,
         };
         // The sharded path is bit-identical to the serial one (see
         // `verfploeter::scan::run_scan_sharded`), so experiments get the
         // wall-clock win for free without changing any published number.
+        let shards = scan_shards();
         let result = Rc::new(run_scan_sharded(
             &scenario.world,
             hitlist,
@@ -267,12 +293,46 @@ impl Lab {
             SimTime::ZERO,
             &config,
             0x51ed ^ ident as u64,
-            scan_shards(),
+            shards,
         ));
+        self.record_scan_obs(key, shards, &result, Some(&route_obs));
         self.vp_scans
             .borrow_mut()
             .insert(key.to_owned(), Rc::clone(&result));
         result
+    }
+
+    /// Folds one fresh scan (and optionally the BGP propagation that
+    /// produced its routing table) into the current experiment's
+    /// observability state. No-op with `--obs off`. Cache hits never reach
+    /// this, so cached work is not double-counted.
+    fn record_scan_obs(
+        &self,
+        key: &str,
+        shards: usize,
+        result: &ScanResult,
+        route_obs: Option<&vp_bgp::RouteObs>,
+    ) {
+        if self.obs == TraceLevel::Off {
+            return;
+        }
+        let mut state = self.obs_state.borrow_mut();
+        if let Some(route) = route_obs {
+            state.record_route(route);
+        }
+        state.record_scan(
+            ScanRecord {
+                name: key.to_owned(),
+                shards,
+                probes_sent: result.probes_sent,
+                blocks_mapped: result.catchments.len() as u64,
+                started_ns: result.started.as_nanos(),
+                last_probe_ns: result.last_probe.as_nanos(),
+                sim_end_ns: result.obs.sim_end.as_nanos(),
+                shard_probes: result.obs.shard_probes.clone(),
+            },
+            &result.obs,
+        );
     }
 
     /// Runs (or returns the cached) Atlas scan for an announcement variant.
@@ -344,6 +404,7 @@ impl Lab {
                         order_seed: 0x57ab ^ r as u64,
                     },
                     cutoff: SimDuration::from_mins(15),
+                    trace: self.obs,
                 };
                 let result = run_scan(
                     &scenario.world,
@@ -355,10 +416,42 @@ impl Lab {
                     &config,
                     0x0523 ^ r as u64,
                 );
+                self.record_scan_obs(&config.name, 1, &result, None);
                 maps.push(result.catchments);
             }
             Rc::new(maps)
         }))
+    }
+
+    /// Drains the observability state accumulated since the last call and
+    /// returns it as a `vp-obs-report/v1` document for `experiment`.
+    /// Returns `None` with `--obs off`.
+    pub fn take_obs_report(&self, experiment: &str) -> Option<serde_json::Value> {
+        if self.obs == TraceLevel::Off {
+            return None;
+        }
+        let state = std::mem::take(&mut *self.obs_state.borrow_mut());
+        Some(build_report(experiment, self.obs, &state))
+    }
+
+    /// Drains the observability state and writes the run report to
+    /// `<out_dir or "results">/obs/<experiment>.report.json`. No-op with
+    /// `--obs off`.
+    pub fn write_obs_report(&self, experiment: &str) {
+        let Some(report) = self.take_obs_report(experiment) else {
+            return;
+        };
+        let dir = self
+            .out_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results"))
+            .join("obs");
+        // vp-lint: allow(h2): an I/O failure must abort loudly, not silently drop reports.
+        std::fs::create_dir_all(&dir).expect("create obs output dir");
+        let path = dir.join(format!("{experiment}.report.json"));
+        // vp-lint: allow(h2): serde_json on owned derived data cannot fail.
+        std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serialize"))
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     }
 
     /// Writes a JSON artifact under the output directory, if one is set.
@@ -419,6 +512,41 @@ mod tests {
             .count();
         assert!(moved > 0, "no routing drift between dates");
         assert!(moved * 2 < may.per_as.len(), "drift too large: {moved}");
+    }
+
+    #[test]
+    fn obs_records_fresh_scans_but_not_cache_hits() {
+        let mut lab = Lab::new(Scale::Tiny);
+        lab.obs = TraceLevel::Full;
+        let s = lab.broot();
+        let hl = lab.broot_hitlist();
+        let _ = lab.vp_scan("SBV-OBS", s, hl, &s.announcement, 1);
+        let _ = lab.vp_scan("SBV-OBS", s, hl, &s.announcement, 1); // cached
+
+        let report = lab.take_obs_report("obs-test").expect("report");
+        let serde_json::Value::Object(obj) = &report else {
+            panic!("report not an object")
+        };
+        let scans = obj.get("scans").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(scans.len(), 1, "cache hit was double-recorded");
+        assert!(!obj.get("metrics").and_then(|v| v.as_array()).unwrap().is_empty());
+
+        // Draining resets the state: a second take sees no scans.
+        let again = lab.take_obs_report("obs-test").expect("report");
+        let serde_json::Value::Object(obj) = &again else {
+            panic!("report not an object")
+        };
+        assert!(obj.get("scans").and_then(|v| v.as_array()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn obs_off_records_nothing() {
+        let mut lab = Lab::new(Scale::Tiny);
+        lab.obs = TraceLevel::Off;
+        let s = lab.broot();
+        let hl = lab.broot_hitlist();
+        let _ = lab.vp_scan("SBV-OBS-OFF", s, hl, &s.announcement, 1);
+        assert!(lab.take_obs_report("obs-test").is_none());
     }
 
     #[test]

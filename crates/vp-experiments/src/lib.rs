@@ -14,5 +14,6 @@
 
 pub mod context;
 pub mod experiments;
+pub mod obs;
 
 pub use context::{Lab, Scale};

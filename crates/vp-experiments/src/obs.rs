@@ -1,0 +1,331 @@
+//! Per-experiment run reports: the experiment harness's view of the
+//! [`vp_obs`] layer.
+//!
+//! While an experiment runs, the [`Lab`](crate::Lab) folds every fresh
+//! scan's [`ScanObs`] and every BGP propagation's [`RouteObs`] into one
+//! [`ObsState`]. After the experiment finishes, [`build_report`] renders
+//! the accumulated state as a JSON run report
+//! (`results/obs/<experiment>.report.json`), whose shape is pinned by the
+//! checked-in schema snapshot at `tests/schema/obs_report.schema.json`.
+//!
+//! Two determinism rules shape this module:
+//!
+//! * Everything in a report is **sim-time or a counter** — wall-clock
+//!   never appears, so reports are byte-stable across machines and runs.
+//! * The `Lab` caches scans across experiments within one `run_all`
+//!   process; only *fresh* work is recorded, so an experiment that reuses
+//!   a cached scan honestly reports an empty `scans` array rather than
+//!   double-counting another experiment's work.
+
+use std::collections::BTreeMap;
+
+use serde_json::Value;
+use vp_obs::{Registry, TraceLevel, TraceSummary};
+use verfploeter::scan::ScanObs;
+
+/// Cap on events embedded in a report. `--obs full` traces can exceed the
+/// ring capacity of every engine combined; the report keeps the earliest
+/// slice and says so via `events_truncated`.
+const REPORT_EVENT_CAP: usize = 512;
+
+/// One fresh scan executed while the current experiment was running.
+#[derive(Debug, Clone)]
+pub struct ScanRecord {
+    /// Dataset name, e.g. `"SBV-5-15"` or `"STV-3-23/r17"`.
+    pub name: String,
+    /// Shard count the scan ran with (1 = serial path).
+    pub shards: usize,
+    pub probes_sent: u64,
+    /// Blocks in the final catchment map.
+    pub blocks_mapped: u64,
+    /// Sim-time bounds of the probing phase.
+    pub started_ns: u64,
+    pub last_probe_ns: u64,
+    /// Final event-loop clock (max over shards; shard-count-invariant).
+    pub sim_end_ns: u64,
+    /// Probes issued per shard, for the load-balance summary.
+    pub shard_probes: Vec<u64>,
+}
+
+/// Observations accumulated across one experiment's fresh work.
+#[derive(Debug, Default)]
+pub struct ObsState {
+    /// Merged metric registries of every fresh scan plus BGP counters.
+    pub registry: Registry,
+    /// Merged trace summaries (span aggregates + bounded event slices).
+    pub trace: TraceSummary,
+    /// Per-scan records in execution order.
+    pub scans: Vec<ScanRecord>,
+}
+
+impl ObsState {
+    /// Folds one fresh scan's observability block into the state.
+    pub fn record_scan(&mut self, record: ScanRecord, obs: &ScanObs) {
+        self.registry.merge(&obs.registry);
+        self.trace.merge(&obs.trace);
+        self.scans.push(record);
+    }
+
+    /// Folds one BGP route-propagation's work counters into the state.
+    pub fn record_route(&mut self, obs: &vp_bgp::RouteObs) {
+        obs.record(&mut self.registry);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.scans.is_empty() && self.registry.is_empty() && self.trace.is_empty()
+    }
+}
+
+/// Integer imbalance of a shard-probe split, in permille of the largest
+/// shard: `(max - min) * 1000 / max`. 0 = perfectly balanced. Integer
+/// arithmetic keeps the report byte-stable.
+fn imbalance_permille(shard_probes: &[u64]) -> u64 {
+    let max = shard_probes.iter().copied().max().unwrap_or(0);
+    let min = shard_probes.iter().copied().min().unwrap_or(0);
+    (max - min) * 1000 / max.max(1)
+}
+
+fn scan_value(rec: &ScanRecord) -> Value {
+    let mut balance = BTreeMap::new();
+    balance.insert("shards".to_owned(), Value::U64(rec.shards as u64));
+    balance.insert(
+        "min_probes".to_owned(),
+        Value::U64(rec.shard_probes.iter().copied().min().unwrap_or(0)),
+    );
+    balance.insert(
+        "max_probes".to_owned(),
+        Value::U64(rec.shard_probes.iter().copied().max().unwrap_or(0)),
+    );
+    balance.insert(
+        "imbalance_permille".to_owned(),
+        Value::U64(imbalance_permille(&rec.shard_probes)),
+    );
+
+    let mut obj = BTreeMap::new();
+    obj.insert("name".to_owned(), Value::Str(rec.name.clone()));
+    obj.insert("probes_sent".to_owned(), Value::U64(rec.probes_sent));
+    obj.insert("blocks_mapped".to_owned(), Value::U64(rec.blocks_mapped));
+    obj.insert("started_ns".to_owned(), Value::U64(rec.started_ns));
+    obj.insert("last_probe_ns".to_owned(), Value::U64(rec.last_probe_ns));
+    obj.insert("sim_end_ns".to_owned(), Value::U64(rec.sim_end_ns));
+    obj.insert("shard_balance".to_owned(), Value::Object(balance));
+    Value::Object(obj)
+}
+
+/// Renders the accumulated state as the `vp-obs-report/v1` JSON document.
+pub fn build_report(experiment: &str, mode: TraceLevel, state: &ObsState) -> Value {
+    let scans: Vec<Value> = state.scans.iter().map(scan_value).collect();
+
+    let phases: Vec<Value> = state
+        .trace
+        .spans
+        .iter()
+        .map(|(name, agg)| {
+            let mut obj = BTreeMap::new();
+            obj.insert("name".to_owned(), Value::Str(name.clone()));
+            obj.insert("count".to_owned(), Value::U64(agg.count));
+            obj.insert("total_nanos".to_owned(), Value::U64(agg.total_nanos));
+            obj.insert("max_nanos".to_owned(), Value::U64(agg.max_nanos));
+            Value::Object(obj)
+        })
+        .collect();
+
+    // The registry already knows its canonical JSON form; round-trip it
+    // through the parser instead of re-encoding metric-by-metric.
+    let registry: Value =
+        // vp-lint: allow(h2): parsing the registry's own canonical output cannot fail.
+        serde_json::from_str(&state.registry.to_canonical_json()).expect("canonical registry json");
+    let metrics = match registry {
+        Value::Object(mut obj) => obj.remove("metrics").unwrap_or(Value::Array(Vec::new())),
+        _ => Value::Array(Vec::new()),
+    };
+
+    let truncated = state.trace.events.len() > REPORT_EVENT_CAP;
+    let events: Vec<Value> = state
+        .trace
+        .events
+        .iter()
+        .take(REPORT_EVENT_CAP)
+        .map(|e| {
+            let mut obj = BTreeMap::new();
+            obj.insert("at_nanos".to_owned(), Value::U64(e.at_nanos));
+            obj.insert("name".to_owned(), Value::Str(e.name.clone()));
+            obj.insert("detail".to_owned(), Value::Str(e.detail.clone()));
+            Value::Object(obj)
+        })
+        .collect();
+
+    let mut report = BTreeMap::new();
+    report.insert(
+        "schema".to_owned(),
+        Value::Str("vp-obs-report/v1".to_owned()),
+    );
+    report.insert("experiment".to_owned(), Value::Str(experiment.to_owned()));
+    report.insert("mode".to_owned(), Value::Str(mode.name().to_owned()));
+    report.insert("scans".to_owned(), Value::Array(scans));
+    report.insert("phases".to_owned(), Value::Array(phases));
+    report.insert("metrics".to_owned(), metrics);
+    report.insert("events".to_owned(), Value::Array(events));
+    report.insert("events_truncated".to_owned(), Value::Bool(truncated));
+    report.insert(
+        "dropped_events".to_owned(),
+        Value::U64(state.trace.dropped_events),
+    );
+    Value::Object(report)
+}
+
+// ---------------------------------------------------------------------
+// Mini JSON-schema validator.
+// ---------------------------------------------------------------------
+
+/// Validates `value` against the subset of JSON Schema used by
+/// `tests/schema/obs_report.schema.json`: `type` (object / array / string
+/// / integer / number / boolean), `required`, `properties`,
+/// `additionalProperties` (a schema, or `false`), `items`, `enum` (of
+/// strings) and `minimum`. Returns one message per violation; an empty
+/// vector means the document conforms.
+pub fn validate_schema(value: &Value, schema: &Value) -> Vec<String> {
+    let mut errors = Vec::new();
+    check(value, schema, "$", &mut errors);
+    errors
+}
+
+fn type_name(value: &Value) -> &'static str {
+    match value {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::I64(_) | Value::U64(_) => "integer",
+        Value::F64(_) => "number",
+        Value::Str(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+fn check(value: &Value, schema: &Value, path: &str, errors: &mut Vec<String>) {
+    let Value::Object(schema) = schema else {
+        errors.push(format!("{path}: schema node is not an object"));
+        return;
+    };
+
+    if let Some(Value::Str(want)) = schema.get("type") {
+        let got = type_name(value);
+        // JSON Schema semantics: every integer is also a number.
+        let ok = got == want || (want == "number" && got == "integer");
+        if !ok {
+            errors.push(format!("{path}: expected {want}, got {got}"));
+            return;
+        }
+    }
+
+    if let Some(Value::Array(allowed)) = schema.get("enum") {
+        if !allowed.iter().any(|a| a == value) {
+            errors.push(format!("{path}: value not in enum"));
+        }
+    }
+
+    if let Some(min) = schema.get("minimum").and_then(Value::as_i64) {
+        if let Some(v) = value.as_i64() {
+            if v < min {
+                errors.push(format!("{path}: {v} below minimum {min}"));
+            }
+        }
+    }
+
+    if let Value::Object(obj) = value {
+        if let Some(Value::Array(required)) = schema.get("required") {
+            for key in required {
+                if let Value::Str(key) = key {
+                    if !obj.contains_key(key) {
+                        errors.push(format!("{path}: missing required key {key:?}"));
+                    }
+                }
+            }
+        }
+        let props = match schema.get("properties") {
+            Some(Value::Object(p)) => Some(p),
+            _ => None,
+        };
+        for (key, child) in obj {
+            let child_path = format!("{path}.{key}");
+            if let Some(prop_schema) = props.and_then(|p| p.get(key)) {
+                check(child, prop_schema, &child_path, errors);
+            } else {
+                match schema.get("additionalProperties") {
+                    Some(Value::Bool(false)) => {
+                        errors.push(format!("{path}: unexpected key {key:?}"));
+                    }
+                    Some(extra @ Value::Object(_)) => check(child, extra, &child_path, errors),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    if let (Value::Array(items), Some(item_schema)) = (value, schema.get("items")) {
+        for (i, item) in items.iter().enumerate() {
+            check(item, item_schema, &format!("{path}[{i}]"), errors);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_is_zero_for_balanced_and_empty() {
+        assert_eq!(imbalance_permille(&[]), 0);
+        assert_eq!(imbalance_permille(&[5, 5, 5]), 0);
+        assert_eq!(imbalance_permille(&[100, 50]), 500);
+        assert_eq!(imbalance_permille(&[10, 0]), 1000);
+    }
+
+    #[test]
+    fn empty_state_builds_a_minimal_report() {
+        let state = ObsState::default();
+        assert!(state.is_empty());
+        let report = build_report("x", TraceLevel::Summary, &state);
+        let Value::Object(obj) = &report else {
+            panic!("report not an object")
+        };
+        assert_eq!(
+            obj.get("schema"),
+            Some(&Value::Str("vp-obs-report/v1".to_owned()))
+        );
+        assert_eq!(obj.get("mode"), Some(&Value::Str("summary".to_owned())));
+        assert_eq!(obj.get("events_truncated"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn validator_flags_missing_and_mistyped_fields() {
+        let schema: Value = serde_json::from_str(
+            r#"{"type":"object","required":["a"],"properties":{"a":{"type":"integer","minimum":0},"b":{"type":"array","items":{"type":"string"}}},"additionalProperties":false}"#,
+        )
+        .unwrap();
+        let good: Value = serde_json::from_str(r#"{"a":3,"b":["x"]}"#).unwrap();
+        assert!(validate_schema(&good, &schema).is_empty());
+
+        let missing: Value = serde_json::from_str(r#"{"b":[]}"#).unwrap();
+        assert_eq!(validate_schema(&missing, &schema).len(), 1);
+
+        let bad_type: Value = serde_json::from_str(r#"{"a":"no"}"#).unwrap();
+        assert!(!validate_schema(&bad_type, &schema).is_empty());
+
+        let extra: Value = serde_json::from_str(r#"{"a":1,"z":true}"#).unwrap();
+        assert!(validate_schema(&extra, &schema)
+            .iter()
+            .any(|e| e.contains("unexpected key")));
+
+        let bad_item: Value = serde_json::from_str(r#"{"a":1,"b":[4]}"#).unwrap();
+        assert!(!validate_schema(&bad_item, &schema).is_empty());
+    }
+
+    #[test]
+    fn integers_satisfy_number_schemas() {
+        let schema: Value = serde_json::from_str(r#"{"type":"number"}"#).unwrap();
+        assert!(validate_schema(&Value::U64(7), &schema).is_empty());
+        assert!(validate_schema(&Value::F64(7.5), &schema).is_empty());
+        assert!(!validate_schema(&Value::Str("7".to_owned()), &schema).is_empty());
+    }
+}

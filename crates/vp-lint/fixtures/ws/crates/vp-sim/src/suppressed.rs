@@ -37,6 +37,25 @@ pub fn allowed_multi(v: Option<u32>) -> u32 {
     v.unwrap_or_else(|| thread_rng() as u32)
 }
 
+/// A sim-time clock impl never fires d4, even though this file (below)
+/// also reads wall time: only the wall-time read sites are findings.
+pub struct FixtureSimClock(pub u64);
+
+impl Clock for FixtureSimClock {
+    fn now_nanos(&self) -> u64 {
+        self.0
+    }
+}
+
+pub struct AllowedWallClock;
+
+impl Clock for AllowedWallClock {
+    fn now_nanos(&self) -> u64 {
+        // vp-lint: allow(d2, d4): fixture exercising a justified wall-time clock in a library.
+        std::time::Instant::now().elapsed().as_nanos() as u64
+    }
+}
+
 pub struct Gauges {
     pub g: u64,
 }

@@ -51,6 +51,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                      USAGE:\n  vp-lint --workspace [--root DIR] [--format text|json]\n  \
                      vp-lint [--root DIR] [--format text|json] PATH...\n\n\
                      Rules: d1 hash-order, d2 ambient entropy, d3 merge-tested,\n\
+                     d4 wall-time Clock impls outside binaries/vp-bench,\n\
                      h1 narrowing casts (hot crates), h2 unwrap/expect in libraries.\n\
                      Suppress with `// vp-lint: allow(<rule>): <justification>`."
                 );

@@ -5,6 +5,7 @@
 //! | d1  | no `HashMap`/`HashSet` in non-test code — ambient hash order must never feed catchment maps, serialized results or reports |
 //! | d2  | no ambient nondeterminism (`thread_rng`, `SystemTime::now`, `Instant::now`, `std::env`) outside `vp-bench` |
 //! | d3  | every `pub fn merge` needs a merge-algebra test (a `vp-lint: merge-tested(Type::merge)` marker or a matching test name) |
+//! | d4  | wall-time `Clock` impls belong in binaries or `vp-bench`: a library file that implements the `Clock` trait must not read `Instant`/`SystemTime` |
 //! | h1  | no narrowing `as` casts in the hot crates (`vp-sim`, `verfploeter`, `vp-hitlist`) |
 //! | h2  | no `unwrap()`/`expect()` in library (non-test, non-bin) code |
 //! | directive | malformed `vp-lint:` directive (never suppressible) |
@@ -23,6 +24,7 @@ pub enum RuleId {
     D1,
     D2,
     D3,
+    D4,
     H1,
     H2,
     Directive,
@@ -34,6 +36,7 @@ impl RuleId {
             RuleId::D1 => "d1",
             RuleId::D2 => "d2",
             RuleId::D3 => "d3",
+            RuleId::D4 => "d4",
             RuleId::H1 => "h1",
             RuleId::H2 => "h2",
             RuleId::Directive => "directive",
@@ -45,6 +48,7 @@ impl RuleId {
             "d1" => Some(RuleId::D1),
             "d2" => Some(RuleId::D2),
             "d3" => Some(RuleId::D3),
+            "d4" => Some(RuleId::D4),
             "h1" => Some(RuleId::H1),
             "h2" => Some(RuleId::H2),
             "directive" => Some(RuleId::Directive),
@@ -108,6 +112,8 @@ impl FileContext {
 const HOT_CRATES: [&str; 3] = ["vp-sim", "verfploeter", "vp-hitlist"];
 /// Crates exempt from D2 (benchmarks measure wall-clock by design).
 const D2_EXEMPT_CRATES: [&str; 1] = ["vp-bench"];
+/// Crates exempt from D4 (same reasoning: vp-bench times real work).
+const D4_EXEMPT_CRATES: [&str; 1] = ["vp-bench"];
 /// Narrow numeric cast targets (anything that can drop bits from the u64 /
 /// usize / f64 values this codebase computes with). `u64`/`u128`/`i64`/
 /// `i128`/`f64` targets are widening at our value ranges and exempt.
@@ -284,6 +290,12 @@ pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
 
     let hot = HOT_CRATES.contains(&ctx.crate_name.as_str());
     let d2_exempt = D2_EXEMPT_CRATES.contains(&ctx.crate_name.as_str());
+    let d4_exempt =
+        D4_EXEMPT_CRATES.contains(&ctx.crate_name.as_str()) || ctx.is_bin || ctx.is_test;
+    // d4 bookkeeping: wall-time reads and `impl ... Clock for ...` headers
+    // are collected during the token walk and resolved after it.
+    let mut wall_time_sites: Vec<(usize, usize)> = Vec::new();
+    let mut implements_clock = false;
 
     let push = |dirs: &Directives, findings: &mut Vec<Finding>, rule, line, col, message: String| {
         if !dirs.allows_on(rule, line) {
@@ -369,6 +381,34 @@ pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
             }
         }
 
+        // d4 — collect wall-time sources and Clock-impl headers.
+        if !d4_exempt {
+            if matches!(t.ident(), Some("Instant") | Some("SystemTime")) {
+                wall_time_sites.push((t.line, t.col));
+            }
+            if t.ident() == Some("impl") {
+                // Walk the impl header (up to `{` or `;`): a trait path
+                // ending in `Clock` right before `for` marks a Clock impl.
+                let mut last_ident: Option<&str> = None;
+                let mut j = i + 1;
+                while let Some(n) = tokens.get(j) {
+                    if n.is_punct('{') || n.is_punct(';') {
+                        break;
+                    }
+                    if let Some(id) = n.ident() {
+                        if id == "for" {
+                            if last_ident == Some("Clock") {
+                                implements_clock = true;
+                            }
+                            break;
+                        }
+                        last_ident = Some(id);
+                    }
+                    j += 1;
+                }
+            }
+        }
+
         // d3 — record pub fn merge definitions.
         if t.ident() == Some("pub")
             && tokens.get(i + 1).and_then(Token::ident) == Some("fn")
@@ -429,6 +469,24 @@ pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
                     );
                 }
             }
+        }
+    }
+
+    // d4 — a library file that implements `Clock` must not read wall time:
+    // wall-backed clocks belong in binaries or vp-bench, so that every
+    // clock a library can be handed is an injected, deterministic one.
+    if implements_clock {
+        for (line, col) in wall_time_sites {
+            push(
+                &dirs,
+                &mut out.findings,
+                RuleId::D4,
+                line,
+                col,
+                "wall-time source in a file that implements Clock: wall-backed clocks \
+                 belong in binaries or vp-bench; library code takes injected sim clocks"
+                    .into(),
+            );
         }
     }
 

@@ -177,6 +177,45 @@ fn scan_defs(src: &str) -> Vec<rules::MergeDef> {
 }
 
 #[test]
+fn d4_fires_on_wall_time_in_clock_impl_files() {
+    let wall_clock = "impl Clock for WallClock {\n    fn now_nanos(&self) -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n}\n";
+    // The Instant read fires d2 (ambient time) AND d4 (Clock impl file).
+    let mut rules = fired(wall_clock);
+    rules.sort();
+    assert_eq!(rules, [RuleId::D2, RuleId::D4]);
+
+    // Wall time without a Clock impl is only d2.
+    assert_eq!(fired("fn f() { Instant::now(); }\n"), [RuleId::D2]);
+
+    // A sim-backed Clock impl (no wall time anywhere) is clean.
+    let sim = "impl Clock for SimClock {\n    fn now_nanos(&self) -> u64 { self.0 }\n}\n";
+    assert!(fired(sim).is_empty());
+
+    // A fully-qualified trait path still counts as a Clock impl.
+    let pathed = "impl vp_obs::Clock for W {\n    fn now_nanos(&self) -> u64 { SystemTime::now().into() }\n}\n";
+    let mut rules = fired(pathed);
+    rules.sort();
+    assert_eq!(rules, [RuleId::D2, RuleId::D4]);
+
+    // Binaries may back a Clock with wall time (d2 still wants its allow).
+    let bin = FileContext::from_rel_path("crates/vp-sim/src/bin/tool.rs");
+    let bin_rules: Vec<RuleId> = rules::scan_file(&bin, wall_clock)
+        .findings
+        .iter()
+        .map(|f| f.rule)
+        .collect();
+    assert_eq!(bin_rules, [RuleId::D2]);
+
+    // vp-bench is exempt outright.
+    let bench = FileContext::from_rel_path("crates/vp-bench/src/lib.rs");
+    assert!(rules::scan_file(&bench, wall_clock).findings.is_empty());
+
+    // Suppression covers the wall-time read site.
+    let suppressed = "impl Clock for W {\n    fn now_nanos(&self) -> u64 {\n        // vp-lint: allow(d2, d4): operator display only; never reaches an artifact.\n        Instant::now().elapsed().as_nanos() as u64\n    }\n}\n";
+    assert!(fired(suppressed).is_empty());
+}
+
+#[test]
 fn h1_fires_only_in_hot_crates() {
     let narrowing = "fn f(x: u64) -> u32 { x as u32 }\n";
     assert_eq!(fired(narrowing), [RuleId::H1]);

@@ -1,0 +1,550 @@
+//! Merge-algebra metrics: counters, gauges, and fixed-bucket histograms
+//! keyed by `(name, labels)` over `BTreeMap`s, so iteration — and therefore
+//! every exposition format — is canonically ordered.
+//!
+//! The registry obeys the same merge-algebra contract as `SimStats` and
+//! `CatchmentMap` in the scan pipeline: [`Registry::merge`] is associative
+//! and commutative with the empty registry as identity. That is what lets
+//! `run_scan_sharded(K)` fold K per-shard registries into a result that is
+//! byte-identical to the serial scan's registry for every K, provided the
+//! recorded values themselves are shard-count-invariant (pure sums over
+//! per-packet or per-index contributions — see DESIGN.md §9).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A metric identity: name plus a sorted label set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    pub name: String,
+    pub labels: BTreeMap<String, String>,
+}
+
+impl MetricKey {
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        MetricKey {
+            name: name.to_owned(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+        }
+    }
+}
+
+/// A monotone event count. Merge = sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+/// A signed level. Merge = sum, so gauges recorded per shard must be
+/// per-shard *contributions* (deltas), not absolute readings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge(pub i64);
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// `bounds` are inclusive upper bounds per bucket; one implicit overflow
+/// bucket catches everything above the last bound. Two histograms merge by
+/// element-wise bucket addition, which is only meaningful when their bounds
+/// agree — merging mismatched bounds is a programming error and panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` entries; the last is the overflow bucket.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    pub fn new(bounds: Vec<u64>) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds not sorted");
+        let buckets = vec![0; bounds.len() + 1];
+        Histogram {
+            bounds,
+            buckets,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Log-spaced bounds: `start, start*factor_num/factor_den, ...` —
+    /// integer arithmetic so bucket layout is identical on every platform.
+    pub fn exponential(start: u64, factor_num: u64, factor_den: u64, count: usize) -> Histogram {
+        debug_assert!(start > 0 && factor_num > factor_den && factor_den > 0);
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b = (b.saturating_mul(factor_num) / factor_den).max(b + 1);
+        }
+        Histogram::new(bounds)
+    }
+
+    pub fn observe(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observed sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Upper-bound estimate of the q-quantile: the bound of the first
+    /// bucket whose cumulative count reaches `ceil(q * count)`, clamped to
+    /// the observed `[min, max]` range. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                let bound = self.bounds.get(i).copied().unwrap_or(self.max);
+                return bound.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Element-wise bucket sum. Panics on mismatched bounds; an empty
+    /// histogram with the same bounds is the identity.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "merging histograms with different bucket bounds"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One recorded metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The metric store: a canonically ordered map from [`MetricKey`] to
+/// [`Metric`]. Recording under an existing key with a different metric
+/// kind is a programming error and panics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Registry {
+    metrics: BTreeMap<MetricKey, Metric>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &Metric)> {
+        self.metrics.iter()
+    }
+
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], n: u64) {
+        let key = MetricKey::new(name, labels);
+        match self
+            .metrics
+            .entry(key)
+            .or_insert(Metric::Counter(Counter(0)))
+        {
+            Metric::Counter(c) => c.0 += n,
+            other => panic!("{name}: counter_add on a {}", other.kind()),
+        }
+    }
+
+    pub fn gauge_add(&mut self, name: &str, labels: &[(&str, &str)], delta: i64) {
+        let key = MetricKey::new(name, labels);
+        match self.metrics.entry(key).or_insert(Metric::Gauge(Gauge(0))) {
+            Metric::Gauge(g) => g.0 += delta,
+            other => panic!("{name}: gauge_add on a {}", other.kind()),
+        }
+    }
+
+    /// Observes `value` into the named histogram, creating it with
+    /// `bounds` on first use. Later calls must pass the same bounds.
+    pub fn histogram_observe(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+        value: u64,
+    ) {
+        let key = MetricKey::new(name, labels);
+        match self
+            .metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds.to_vec())))
+        {
+            Metric::Histogram(h) => {
+                debug_assert_eq!(h.bounds(), bounds, "{name}: bucket bounds changed");
+                h.observe(value);
+            }
+            other => panic!("{name}: histogram_observe on a {}", other.kind()),
+        }
+    }
+
+    /// Inserts a pre-built histogram (used by vp-bench to publish
+    /// standalone measurements). Panics if the key already exists.
+    pub fn insert_histogram(&mut self, name: &str, labels: &[(&str, &str)], hist: Histogram) {
+        let key = MetricKey::new(name, labels);
+        let prev = self.metrics.insert(key, Metric::Histogram(hist));
+        assert!(prev.is_none(), "{name}: histogram already registered");
+    }
+
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.metrics.get(&MetricKey::new(name, labels)) {
+            Some(Metric::Counter(c)) => c.0,
+            _ => 0,
+        }
+    }
+
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> i64 {
+        match self.metrics.get(&MetricKey::new(name, labels)) {
+            Some(Metric::Gauge(g)) => g.0,
+            _ => 0,
+        }
+    }
+
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        match self.metrics.get(&MetricKey::new(name, labels)) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Folds `other` into `self`: counters and gauges sum, histograms add
+    /// element-wise, keys present on one side only are copied. Associative
+    /// and commutative, with the empty registry as identity — the same
+    /// contract as `SimStats::merge`, so per-shard registries fold in any
+    /// grouping to the same result.
+    pub fn merge(&mut self, other: &Registry) {
+        for (key, metric) in &other.metrics {
+            match self.metrics.get_mut(key) {
+                None => {
+                    self.metrics.insert(key.clone(), metric.clone());
+                }
+                Some(mine) => match (mine, metric) {
+                    (Metric::Counter(a), Metric::Counter(b)) => a.0 += b.0,
+                    (Metric::Gauge(a), Metric::Gauge(b)) => a.0 += b.0,
+                    (Metric::Histogram(a), Metric::Histogram(b)) => a.merge(b),
+                    (mine, theirs) => panic!(
+                        "{}: merging a {} into a {}",
+                        key.name,
+                        theirs.kind(),
+                        mine.kind()
+                    ),
+                },
+            }
+        }
+    }
+
+    /// Canonical JSON exposition: one object per metric, sorted by
+    /// `(name, labels)`. Byte-identical across platforms and shard counts
+    /// for equal registries, so tests compare registries by this string.
+    pub fn to_canonical_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        for (i, (key, metric)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":{}", json_string(&key.name));
+            out.push_str(",\"labels\":{");
+            for (j, (k, v)) in key.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json_string(k), json_string(v));
+            }
+            let _ = write!(out, "}},\"type\":\"{}\"", metric.kind());
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = write!(out, ",\"value\":{}", c.0);
+                }
+                Metric::Gauge(g) => {
+                    let _ = write!(out, ",\"value\":{}", g.0);
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        ",\"bounds\":{},\"buckets\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{}",
+                        u64_array(&h.bounds),
+                        u64_array(&h.buckets),
+                        h.count,
+                        h.sum,
+                        h.min(),
+                        h.max
+                    );
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Prometheus text exposition (v0.0.4): `.`/`-` in names become `_`,
+    /// histograms expand to cumulative `_bucket{le=...}` plus `_sum` and
+    /// `_count` series. Ordering follows the registry's canonical order.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = String::new();
+        for (key, metric) in &self.metrics {
+            let name = prom_name(&key.name);
+            if name != last_name {
+                let _ = writeln!(out, "# TYPE {name} {}", metric.kind());
+                last_name = name.clone();
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name}{} {}", prom_labels(&key.labels, None), c.0);
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name}{} {}", prom_labels(&key.labels, None), g.0);
+                }
+                Metric::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (i, n) in h.buckets.iter().enumerate() {
+                        cum += n;
+                        let le = match h.bounds.get(i) {
+                            Some(b) => b.to_string(),
+                            None => "+Inf".to_owned(),
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            prom_labels(&key.labels, Some(&le))
+                        );
+                    }
+                    let _ = writeln!(out, "{name}_sum{} {}", prom_labels(&key.labels, None), h.sum);
+                    let _ = writeln!(
+                        out,
+                        "{name}_count{} {}",
+                        prom_labels(&key.labels, None),
+                        h.count
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+fn u64_array(values: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn prom_labels(labels: &BTreeMap<String, String>, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}={}", prom_name(k), json_string(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// JSON string literal with the escapes canonical serializers emit.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let mut r = Registry::new();
+        r.counter_add("scan.probes", &[], 3);
+        r.counter_add("scan.probes", &[], 4);
+        r.gauge_add("queue.depth", &[("site", "LAX")], 5);
+        r.gauge_add("queue.depth", &[("site", "LAX")], -2);
+        assert_eq!(r.counter_value("scan.probes", &[]), 7);
+        assert_eq!(r.gauge_value("queue.depth", &[("site", "LAX")]), 3);
+        assert_eq!(r.counter_value("missing", &[]), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let mut r = Registry::new();
+        r.counter_add("c", &[("a", "1"), ("b", "2")], 1);
+        r.counter_add("c", &[("b", "2"), ("a", "1")], 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.counter_value("c", &[("a", "1"), ("b", "2")]), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new(vec![10, 100, 1000]);
+        for v in [1, 5, 10, 11, 99, 100, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.buckets(), &[3, 3, 0, 1]);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1 + 5 + 10 + 11 + 99 + 100 + 5000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 5000);
+        // Median rank 4 lands in the second bucket → bound 100.
+        assert_eq!(h.quantile(0.5), 100);
+        // p100 lands in the overflow bucket → observed max.
+        assert_eq!(h.quantile(1.0), 5000);
+        assert_eq!(Histogram::new(vec![1]).quantile(0.5), 0);
+    }
+
+    #[test]
+    fn exponential_bounds_strictly_increase() {
+        let h = Histogram::exponential(1_000, 3, 2, 32);
+        assert_eq!(h.bounds().len(), 32);
+        assert!(h.bounds().windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(h.bounds()[0], 1_000);
+        assert_eq!(h.bounds()[1], 1_500);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.counter_add("c", &[], 1);
+        b.counter_add("c", &[], 2);
+        b.counter_add("only_b", &[], 9);
+        a.histogram_observe("h", &[], &[10, 100], 5);
+        b.histogram_observe("h", &[], &[10, 100], 50);
+        a.merge(&b);
+        assert_eq!(a.counter_value("c", &[]), 3);
+        assert_eq!(a.counter_value("only_b", &[]), 9);
+        let h = a.histogram("h", &[]).map(Histogram::buckets);
+        assert_eq!(h, Some(&[1, 1, 0][..]));
+    }
+
+    #[test]
+    fn canonical_json_is_sorted_and_escaped() {
+        let mut r = Registry::new();
+        r.counter_add("z.last", &[], 1);
+        r.counter_add("a.first", &[("site", "says \"hi\"")], 2);
+        let json = r.to_canonical_json();
+        let a = json.find("a.first").unwrap_or(usize::MAX);
+        let z = json.find("z.last").unwrap_or(0);
+        assert!(a < z, "not sorted: {json}");
+        assert!(json.contains("says \\\"hi\\\""), "not escaped: {json}");
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let mut r = Registry::new();
+        r.counter_add("scan.probes", &[("site", "LAX")], 7);
+        r.histogram_observe("rtt.ns", &[], &[10, 100], 5);
+        r.histogram_observe("rtt.ns", &[], &[10, 100], 500);
+        let text = r.to_prometheus_text();
+        assert!(text.contains("# TYPE scan_probes counter"), "{text}");
+        assert!(text.contains("scan_probes{site=\"LAX\"} 7"), "{text}");
+        assert!(text.contains("rtt_ns_bucket{le=\"10\"} 1"), "{text}");
+        assert!(text.contains("rtt_ns_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("rtt_ns_count 2"), "{text}");
+    }
+}

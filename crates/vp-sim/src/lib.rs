@@ -33,7 +33,9 @@ pub mod latency;
 pub mod oracle;
 pub mod scenario;
 
-pub use engine::{derive_shard_seed, HostDelivery, NetworkSim, ServiceHandle, SimStats, SiteCapture};
+pub use engine::{
+    derive_shard_seed, EngineObs, HostDelivery, NetworkSim, ServiceHandle, SimStats, SiteCapture,
+};
 pub use faults::FaultConfig;
 pub use latency::LatencyModel;
 pub use oracle::{CatchmentOracle, FlippingOracle, StaticOracle};

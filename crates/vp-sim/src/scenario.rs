@@ -63,6 +63,16 @@ impl Scenario {
         BgpSim::new(&self.world.graph, policy_seed).route(ann)
     }
 
+    /// Like [`Scenario::routing_with_seed`], also returning the BGP
+    /// propagation work counters for the observability layer.
+    pub fn routing_with_seed_traced(
+        &self,
+        ann: &Announcement,
+        policy_seed: u64,
+    ) -> (RoutingTable, vp_bgp::RouteObs) {
+        BgpSim::new(&self.world.graph, policy_seed).route_traced(ann)
+    }
+
     /// A paper-shaped flip model over this scenario's routing.
     pub fn flip_model(&self, seed: u64, table: &RoutingTable) -> FlipModel {
         let mut blocks_per_as = vec![0u32; self.world.graph.len()];

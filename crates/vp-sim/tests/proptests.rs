@@ -128,9 +128,11 @@ fn service_registration_order_is_stable() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// `SimStats::merge` is field-wise addition, so folding any permutation
-    /// of shard stats must give the same totals, and grouping must not
-    /// matter: (a + b) + c == a + (b + c).
+    /// `SimStats::merge` is field-wise addition — including the variable-
+    /// length `per_site_captures` vector, which sums element-wise with
+    /// zero-padding — so folding any permutation of shard stats must give
+    /// the same totals, and grouping must not matter:
+    /// (a + b) + c == a + (b + c).
     #[test]
     fn sim_stats_merge_is_associative_and_commutative(
         counts in prop::collection::vec(
@@ -138,13 +140,16 @@ proptest! {
                 (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
                 (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
                 (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+                // Per-site capture vectors of *different* lengths, so the
+                // zero-padding path is exercised in every merge order.
+                prop::collection::vec(0u64..1_000_000, 0..5),
             ),
             1..6,
         ),
     ) {
         let stats: Vec<vp_sim::SimStats> = counts
             .iter()
-            .map(|&((i, dh, ds), (l, r, d), (a, u, n))| vp_sim::SimStats {
+            .map(|&((i, dh, ds), (l, r, d), (a, u, n), ref sites)| vp_sim::SimStats {
                 injected: i,
                 delivered_to_hosts: dh,
                 delivered_to_sites: ds,
@@ -154,6 +159,7 @@ proptest! {
                 aliases: a,
                 unsolicited: u,
                 undeliverable: n,
+                per_site_captures: sites.clone(),
             })
             .collect();
 
@@ -166,20 +172,39 @@ proptest! {
         for s in stats.iter().rev() {
             reverse.merge(s);
         }
-        prop_assert_eq!(forward, reverse);
+        prop_assert_eq!(&forward, &reverse);
+
+        // Each per-site slot is the sum over inputs long enough to have it.
+        let want_len = stats.iter().map(|s| s.per_site_captures.len()).max().unwrap_or(0);
+        prop_assert_eq!(forward.per_site_captures.len(), want_len);
+        for slot in 0..want_len {
+            let want: u64 = stats
+                .iter()
+                .filter_map(|s| s.per_site_captures.get(slot))
+                .sum();
+            prop_assert_eq!(forward.per_site_captures[slot], want);
+        }
 
         // Associativity on the first three (padded with defaults).
-        let a = *stats.first().unwrap_or(&vp_sim::SimStats::default());
-        let b = *stats.get(1).unwrap_or(&vp_sim::SimStats::default());
-        let c = *stats.get(2).unwrap_or(&vp_sim::SimStats::default());
-        let mut ab = a;
+        let a = stats.first().cloned().unwrap_or_default();
+        let b = stats.get(1).cloned().unwrap_or_default();
+        let c = stats.get(2).cloned().unwrap_or_default();
+        let mut ab = a.clone();
         ab.merge(&b);
         let mut ab_c = ab;
         ab_c.merge(&c);
-        let mut bc = b;
+        let mut bc = b.clone();
         bc.merge(&c);
-        let mut a_bc = a;
+        let mut a_bc = a.clone();
         a_bc.merge(&bc);
         prop_assert_eq!(ab_c, a_bc);
+
+        // The empty stats value is a two-sided identity.
+        let mut id = vp_sim::SimStats::default();
+        id.merge(&a);
+        prop_assert_eq!(&id, &a);
+        let mut right = a.clone();
+        right.merge(&vp_sim::SimStats::default());
+        prop_assert_eq!(&right, &a);
     }
 }

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build, test, and the determinism-and-hygiene lint.
+# Full pre-merge check: build, test, the determinism-and-hygiene lint, and
+# an end-to-end observability pass (run one experiment with --obs full and
+# validate the emitted reports against the checked-in schema snapshot).
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -7,4 +9,12 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo run -q -p vp-lint -- --workspace
-echo "check.sh: build + tests + lint all clean"
+
+obs_dir="target/obs-check"
+rm -rf "$obs_dir"
+cargo run -q --release -p vp-experiments --bin fig2_broot_maps -- \
+    --scale tiny --obs full --out "$obs_dir" >/dev/null
+VP_OBS_REPORT_DIR="$PWD/$obs_dir/obs" cargo test -q -p vp-experiments \
+    --test obs_report emitted_reports_match_schema_snapshot
+
+echo "check.sh: build + tests + lint + obs reports all clean"

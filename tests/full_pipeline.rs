@@ -97,6 +97,7 @@ fn measurement_rounds_are_separated_by_ident() {
             ..ProbeConfig::default()
         },
         cutoff: SimDuration::from_mins(15),
+        ..ScanConfig::default()
     };
     let cfg_b = ScanConfig {
         name: "round-B".into(),
@@ -105,6 +106,7 @@ fn measurement_rounds_are_separated_by_ident() {
             ..ProbeConfig::default()
         },
         cutoff: SimDuration::from_mins(15),
+        ..ScanConfig::default()
     };
     let a = run_scan(
         &s.world,
@@ -155,6 +157,7 @@ fn churn_makes_rounds_differ_in_coverage_not_correctness() {
                     ..ProbeConfig::default()
                 },
                 cutoff: SimDuration::from_mins(15),
+                ..ScanConfig::default()
             },
             seed,
         )

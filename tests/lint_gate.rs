@@ -21,15 +21,16 @@ fn workspace_is_lint_clean() {
 }
 
 /// The analyzer still fires on the seeded fixture workspace. The exact
-/// count pins the rule set: 15 findings in violations.rs (4 d1, 3 d2,
-/// 1 d3, 5 h1, 2 h2) plus 3 malformed-directive findings in malformed.rs.
+/// count pins the rule set: 18 findings in violations.rs (4 d1, 4 d2,
+/// 1 d3, 2 d4, 5 h1, 2 h2) plus 3 malformed-directive findings in
+/// malformed.rs.
 #[test]
 fn analyzer_detects_seeded_fixture_violations() {
     let ws = repo_root().join("crates/vp-lint/fixtures/ws");
     let findings = vp_lint::scan_workspace(&ws).expect("scan fixture ws");
     assert_eq!(
         findings.len(),
-        18,
+        21,
         "fixture finding count drifted:\n{}",
         vp_lint::to_text(&findings)
     );
@@ -40,8 +41,9 @@ fn analyzer_detects_seeded_fixture_violations() {
             .count()
     };
     assert_eq!(count("d1"), 4);
-    assert_eq!(count("d2"), 3);
+    assert_eq!(count("d2"), 4);
     assert_eq!(count("d3"), 1);
+    assert_eq!(count("d4"), 2);
     assert_eq!(count("h1"), 5);
     assert_eq!(count("h2"), 2);
     assert_eq!(count("directive"), 3);

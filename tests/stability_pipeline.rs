@@ -38,6 +38,7 @@ fn run_rounds(rounds: u32) -> (Scenario, Vec<CatchmentMap>) {
                     ..ProbeConfig::default()
                 },
                 cutoff: SimDuration::from_mins(15),
+                ..ScanConfig::default()
             },
             600 + r as u64,
         );
