@@ -4,9 +4,17 @@
 //! shards, folds the per-rep wall times into a [`vp_obs::Histogram`]
 //! (the same type the run reports use), and writes median/p90 per K to
 //! `BENCH_scan.json` so future PRs have a perf trajectory to compare
-//! against. Every rep also cross-checks that the sharded catchment map
-//! stays bit-identical to the serial one — a benchmark of a wrong result
-//! would be worse than no benchmark.
+//! against (`vp-monitor check-bench` gates on it). Every rep also
+//! cross-checks that the sharded catchment map stays bit-identical to the
+//! serial one — a benchmark of a wrong result would be worse than no
+//! benchmark.
+//!
+//! Percentiles are interpolated ([`Histogram::quantile_interpolated`]):
+//! with a single-digit rep count, rank-picking p90 just returns the max —
+//! interpolation keeps p90 a distinct, meaningful statistic. Each run
+//! also stamps a monotonically increasing `run` counter (previous
+//! artifact's `run` + 1) so baseline trajectories can order runs without
+//! wall-clock timestamps.
 //!
 //! Run with: `cargo run --release -p vp-bench --bin bench_scan`
 //! (`--reps <n>` to change the per-K repetition count, `--out <path>`
@@ -66,9 +74,21 @@ fn scan_once(shards: usize, seed: u64) -> (ScanResult, u64) {
     (result, start.elapsed().as_nanos() as u64)
 }
 
+/// The `run` counter for this invocation: previous artifact's + 1.
+fn next_run(out: &str) -> u64 {
+    let prev = std::fs::read_to_string(out)
+        .ok()
+        .and_then(|text| serde_json::from_str::<Value>(&text).ok())
+        .and_then(|doc| doc.get("run").and_then(Value::as_u64))
+        .unwrap_or(0);
+    prev + 1
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let mut reps: u32 = 5;
+    // 9 reps: enough samples that interpolated p90 sits strictly between
+    // the median and the max instead of pinning to either.
+    let mut reps: u32 = 9;
     let mut out = "BENCH_scan.json".to_owned();
     let mut i = 1;
     while i < args.len() {
@@ -102,7 +122,8 @@ fn main() {
     // Fixed reference for the bit-identity cross-check (and a warmup).
     let (reference, _) = scan_once(1, 0xbe9c);
     let targets = reference.probes_sent;
-    println!("bench_scan: {targets} targets, {reps} reps per K");
+    let run = next_run(&out);
+    println!("bench_scan: {targets} targets, {reps} reps per K, run {run}");
 
     let mut series = Vec::new();
     for shards in SHARD_COUNTS {
@@ -121,8 +142,8 @@ fn main() {
             );
             hist.observe(wall);
         }
-        let median = hist.quantile(0.5);
-        let p90 = hist.quantile(0.9);
+        let median = hist.quantile_interpolated(0.5);
+        let p90 = hist.quantile_interpolated(0.9);
         println!(
             "  K={shards}: median {:.1}ms  p90 {:.1}ms  (min {:.1}ms, max {:.1}ms)",
             median as f64 / 1e6,
@@ -146,6 +167,7 @@ fn main() {
         Value::Str("vp-bench-scan/v1".to_owned()),
     );
     doc.insert("benchmark".to_owned(), Value::Str("run_scan".to_owned()));
+    doc.insert("run".to_owned(), Value::U64(run));
     doc.insert("targets".to_owned(), Value::U64(targets));
     doc.insert("series".to_owned(), Value::Array(series));
     let text = serde_json::to_string_pretty(&Value::Object(doc)).expect("serialize");

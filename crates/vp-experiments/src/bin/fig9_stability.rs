@@ -1,6 +1,9 @@
 //! Regenerates the paper's fig9 over the simulated world.
 //! Usage: fig9_stability [--scale tiny|small|default|paper] [--out &lt;dir&gt;]
-//! [--obs off|summary|full]
+//! [--obs off|summary|full] [--snapshots &lt;dir&gt;]
+//!
+//! `--snapshots` additionally writes each round's catchment map (plus an
+//! origins sidecar) for offline replay with `vp-monitor diff`/`watch`.
 
 fn main() {
     let lab = vp_experiments::Lab::from_args();

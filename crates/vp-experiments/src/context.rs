@@ -100,6 +100,12 @@ pub struct Lab {
     /// reports; `Full` additionally retains bounded event rings. The mode
     /// never changes any experiment output — only what gets observed.
     pub obs: TraceLevel,
+    /// Where fig9 writes per-round catchment snapshots (`--snapshots
+    /// <dir>`): one `r<NNN>.json` per round plus an `origins.json`
+    /// sidecar, the replay input for `vp-monitor diff`/`watch`. `None`
+    /// (the default) writes nothing — 96 default-scale rounds are too
+    /// big to emit unasked.
+    pub snapshot_dir: Option<PathBuf>,
     obs_state: RefCell<ObsState>,
     broot: OnceCell<Scenario>,
     tangled: OnceCell<Scenario>,
@@ -118,6 +124,7 @@ impl Lab {
             scale,
             out_dir: None,
             obs: TraceLevel::Summary,
+            snapshot_dir: None,
             obs_state: RefCell::new(ObsState::default()),
             broot: OnceCell::new(),
             tangled: OnceCell::new(),
@@ -132,14 +139,16 @@ impl Lab {
     }
 
     /// Builds a lab from process args: `--scale tiny|small|default|paper`,
-    /// `--out <dir>` for JSON artifacts, and `--obs off|summary|full` for
-    /// the observability mode.
+    /// `--out <dir>` for JSON artifacts, `--obs off|summary|full` for the
+    /// observability mode, and `--snapshots <dir>` for fig9's per-round
+    /// catchment snapshots.
     pub fn from_args() -> Lab {
         // vp-lint: allow(d2): CLI entry point — args select scale/output dir, never a result.
         let args: Vec<String> = std::env::args().collect();
         let mut scale = Scale::Default;
         let mut out = None;
         let mut obs = TraceLevel::Summary;
+        let mut snapshots = None;
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -167,8 +176,14 @@ impl Lab {
                             std::process::exit(2);
                         });
                 }
+                "--snapshots" => {
+                    i += 1;
+                    snapshots = args.get(i).map(PathBuf::from);
+                }
                 other => {
-                    eprintln!("unknown argument {other:?} (supported: --scale, --out, --obs)");
+                    eprintln!(
+                        "unknown argument {other:?} (supported: --scale, --out, --obs, --snapshots)"
+                    );
                     std::process::exit(2);
                 }
             }
@@ -177,6 +192,7 @@ impl Lab {
         let mut lab = Lab::new(scale);
         lab.out_dir = out;
         lab.obs = obs;
+        lab.snapshot_dir = snapshots;
         lab
     }
 

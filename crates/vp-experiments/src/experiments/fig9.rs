@@ -14,6 +14,16 @@ pub fn run(lab: &Lab) -> String {
     let deltas = classify_rounds(&rounds);
     assert!(!deltas.is_empty(), "need at least two rounds");
 
+    // With --snapshots, emit the per-round maps + origins sidecar that
+    // `vp-monitor diff` replays (see DESIGN.md §10).
+    if let Some(dir) = &lab.snapshot_dir {
+        let world = &lab.tangled().world;
+        // vp-lint: allow(h2): an I/O failure must abort loudly, not silently drop snapshots.
+        let n = crate::monitor::write_round_snapshots(dir, &rounds, world)
+            .unwrap_or_else(|e| panic!("snapshot emission failed: {e}"));
+        eprintln!("wrote {n} round snapshots to {}", dir.display());
+    }
+
     let mut t = TextTable::new(["round", "stable", "flipped", "to_NR", "from_NR"]);
     let show_every = (deltas.len() / 12).max(1);
     for d in deltas.iter().step_by(show_every) {

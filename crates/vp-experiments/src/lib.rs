@@ -14,6 +14,7 @@
 
 pub mod context;
 pub mod experiments;
+pub mod monitor;
 pub mod obs;
 
 pub use context::{Lab, Scale};

@@ -2,22 +2,17 @@
 //!
 //! The report shape is a contract with downstream tooling (and with
 //! `scripts/check.sh`, which validates the reports a real `run_all --obs
-//! full` emits). The schema lives at `tests/schema/obs_report.schema.json`
-//! and is validated with the mini-validator in `vp_experiments::obs` —
-//! the same code path the check script exercises, so the snapshot cannot
-//! drift from the validator.
+//! full` emits — via `vp-monitor validate`, the same embedded snapshot).
+//! The schema lives at `crates/vp-monitor/schema/obs_report.schema.json`,
+//! embedded as `vp_monitor::schema::OBS_REPORT_SCHEMA`; validating with
+//! it here means the snapshot cannot drift from the validator.
 
 use vp_experiments::obs::validate_schema;
 use vp_experiments::{Lab, Scale};
 use vp_obs::TraceLevel;
 
 fn schema() -> serde_json::Value {
-    let text = std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/tests/schema/obs_report.schema.json"
-    ))
-    .expect("read schema snapshot");
-    serde_json::from_str(&text).expect("parse schema snapshot")
+    serde_json::from_str(vp_monitor::schema::OBS_REPORT_SCHEMA).expect("parse schema snapshot")
 }
 
 /// Runs a real (tiny) experiment with full tracing and validates the

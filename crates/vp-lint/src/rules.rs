@@ -4,7 +4,7 @@
 //! |-----|------|
 //! | d1  | no `HashMap`/`HashSet` in non-test code — ambient hash order must never feed catchment maps, serialized results or reports |
 //! | d2  | no ambient nondeterminism (`thread_rng`, `SystemTime::now`, `Instant::now`, `std::env`) outside `vp-bench` |
-//! | d3  | every `pub fn merge` needs a merge-algebra test (a `vp-lint: merge-tested(Type::merge)` marker or a matching test name) |
+//! | d3  | every `pub fn merge` needs a merge-algebra test (a `vp-lint: merge-tested(Type::merge)` marker or a matching test name; in marker-strict crates — `vp-monitor` — only an exact marker counts) |
 //! | d4  | wall-time `Clock` impls belong in binaries or `vp-bench`: a library file that implements the `Clock` trait must not read `Instant`/`SystemTime` |
 //! | h1  | no narrowing `as` casts in the hot crates (`vp-sim`, `verfploeter`, `vp-hitlist`) |
 //! | h2  | no `unwrap()`/`expect()` in library (non-test, non-bin) code |
@@ -114,6 +114,11 @@ const HOT_CRATES: [&str; 3] = ["vp-sim", "verfploeter", "vp-hitlist"];
 const D2_EXEMPT_CRATES: [&str; 1] = ["vp-bench"];
 /// Crates exempt from D4 (same reasoning: vp-bench times real work).
 const D4_EXEMPT_CRATES: [&str; 1] = ["vp-bench"];
+/// Crates where D3 accepts only an explicit `merge-tested(Type::merge)`
+/// marker — a test that merely *names* the type is not proof it exercises
+/// the algebra. vp-monitor's `DriftSummary` merge feeds alerting, where a
+/// silently wrong fold means a silently wrong page.
+const D3_MARKER_REQUIRED_CRATES: [&str; 1] = ["vp-monitor"];
 /// Narrow numeric cast targets (anything that can drop bits from the u64 /
 /// usize / f64 values this codebase computes with). `u64`/`u128`/`i64`/
 /// `i128`/`f64` targets are widening at our value ranges and exempt.
@@ -135,6 +140,10 @@ pub struct MergeDef {
     pub col: usize,
     /// Whether an `allow(d3)` covers the definition line.
     pub suppressed: bool,
+    /// Crate is marker-strict: only an exact `merge-tested(Type::merge)`
+    /// marker satisfies D3, not a matching test name or a bare `merge`
+    /// wildcard.
+    pub marker_required: bool,
 }
 
 /// Everything one file contributes to the workspace scan.
@@ -292,6 +301,7 @@ pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
     let d2_exempt = D2_EXEMPT_CRATES.contains(&ctx.crate_name.as_str());
     let d4_exempt =
         D4_EXEMPT_CRATES.contains(&ctx.crate_name.as_str()) || ctx.is_bin || ctx.is_test;
+    let d3_marker_required = D3_MARKER_REQUIRED_CRATES.contains(&ctx.crate_name.as_str());
     // d4 bookkeeping: wall-time reads and `impl ... Clock for ...` headers
     // are collected during the token walk and resolved after it.
     let mut wall_time_sites: Vec<(usize, usize)> = Vec::new();
@@ -426,6 +436,7 @@ pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
                 line: def_tok.line,
                 col: def_tok.col,
                 suppressed: dirs.allows_on(RuleId::D3, def_tok.line),
+                marker_required: d3_marker_required,
             });
         }
 
@@ -506,7 +517,9 @@ pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
 
 /// Resolves rule D3 across files: every unsuppressed `pub fn merge` must be
 /// named by a `merge-tested(...)` marker or covered by a test fn whose
-/// name mentions both the type and "merge".
+/// name mentions both the type and "merge". In marker-strict crates
+/// (`D3_MARKER_REQUIRED_CRATES`) only an exact `merge-tested(Type::merge)`
+/// marker counts.
 pub fn resolve_merge_rule(
     defs: &[MergeDef],
     markers: &[String],
@@ -517,20 +530,32 @@ pub fn resolve_merge_rule(
         if def.suppressed {
             continue;
         }
-        let marked = markers.iter().any(|m| m == &def.qualified || m == "merge");
-        let named = !def.type_key.is_empty()
-            && test_fn_keys
-                .iter()
-                .any(|k| k.contains("merge") && k.contains(&def.type_key));
-        if !marked && !named {
+        let exact = markers.iter().any(|m| m == &def.qualified);
+        let ok = if def.marker_required {
+            exact
+        } else {
+            let marked = exact || markers.iter().any(|m| m == "merge");
+            let named = !def.type_key.is_empty()
+                && test_fn_keys
+                    .iter()
+                    .any(|k| k.contains("merge") && k.contains(&def.type_key));
+            marked || named
+        };
+        if !ok {
+            let requirement = if def.marker_required {
+                "this crate is marker-strict: add a commutativity/associativity \
+                 proptest carrying an exact"
+            } else {
+                "add a commutativity/associativity proptest and a"
+            };
             findings.push(Finding {
                 file: def.file.clone(),
                 line: def.line,
                 col: def.col,
                 rule: RuleId::D3,
                 message: format!(
-                    "{} has no merge-algebra test: add a commutativity/associativity \
-                     proptest and a `vp-lint: merge-tested({})` marker beside it",
+                    "{} has no merge-algebra test: {requirement} \
+                     `vp-lint: merge-tested({})` marker beside it",
                     def.qualified, def.qualified
                 ),
             });

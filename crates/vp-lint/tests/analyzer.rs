@@ -177,6 +177,36 @@ fn scan_defs(src: &str) -> Vec<rules::MergeDef> {
 }
 
 #[test]
+fn d3_marker_strict_crates_require_an_exact_marker() {
+    let src = "impl DriftSummary {\n    pub fn merge(&mut self, o: &DriftSummary) {}\n}\n";
+    let strict =
+        rules::scan_file(&FileContext::from_rel_path("crates/vp-monitor/src/diff.rs"), src)
+            .merge_defs;
+    assert_eq!(strict.len(), 1);
+    assert!(strict[0].marker_required);
+
+    // A name-matched test satisfies ordinary crates but not strict ones.
+    let named_test = ["driftsummary_merge_is_commutative".to_string()];
+    assert_eq!(rules::resolve_merge_rule(&strict, &[], &named_test).len(), 1);
+    // The bare `merge` wildcard marker is not enough either.
+    assert_eq!(
+        rules::resolve_merge_rule(&strict, &["merge".into()], &[]).len(),
+        1
+    );
+    // Only the exact qualified marker discharges the obligation.
+    assert!(rules::resolve_merge_rule(&strict, &["DriftSummary::merge".into()], &[]).is_empty());
+    // The strict finding says so explicitly.
+    let f = &rules::resolve_merge_rule(&strict, &[], &[])[0];
+    assert!(f.message.contains("marker-strict"), "{}", f.message);
+
+    // The same source in a non-strict crate keeps the lenient paths.
+    let lenient = scan_defs(src);
+    assert!(!lenient[0].marker_required);
+    assert!(rules::resolve_merge_rule(&lenient, &[], &named_test).is_empty());
+    assert!(rules::resolve_merge_rule(&lenient, &["merge".into()], &[]).is_empty());
+}
+
+#[test]
 fn d4_fires_on_wall_time_in_clock_impl_files() {
     let wall_clock = "impl Clock for WallClock {\n    fn now_nanos(&self) -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n}\n";
     // The Instant read fires d2 (ambient time) AND d4 (Clock impl file).

@@ -1,0 +1,369 @@
+//! Perf-regression gating: compares a fresh `BENCH_scan.json` against the
+//! committed baseline trajectory in `results/monitor/bench_baseline.json`.
+//!
+//! Wall-clock benchmarks are noisy, so the gate is deliberately
+//! conservative:
+//!
+//! * Per shard count it compares **min-of-reps** — the minimum is the
+//!   least noisy location statistic for a "how fast can this go"
+//!   benchmark (medians drift with scheduler load; minima only improve
+//!   with more reps).
+//! * The baseline is the best min over the whole committed **trajectory**
+//!   of runs, not just the latest — one lucky historical run should keep
+//!   counting.
+//! * A shard count regresses only if
+//!   `current_min * 1000 > baseline_best * (1000 + tolerance_permille)`.
+//!   The committed default tolerance is 500‰ (1.5×): generous enough for
+//!   shared CI machines, tight enough to catch a real algorithmic
+//!   regression (the serial-vs-sharded gap the benchmark exists to watch
+//!   is itself bounded by the cross-check in `bench_scan`).
+//!
+//! Everything here is pure parsing + integer comparison; reading clocks
+//! stays in vp-bench where lint rule d2 allows it.
+
+use serde_json::Value;
+
+/// One shard-count entry of a `vp-bench-scan/v1` series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchRun {
+    pub shards: u64,
+    pub reps: u64,
+    pub min_ns: u64,
+    pub median_ns: u64,
+    pub p90_ns: u64,
+    pub max_ns: u64,
+}
+
+/// A parsed `BENCH_scan.json` document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchScanDoc {
+    /// Monotonic run counter (`run` field); 0 for pre-counter documents.
+    pub run: u64,
+    pub targets: u64,
+    pub series: Vec<BenchRun>,
+}
+
+/// The committed baseline: a trajectory of past bench documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchBaseline {
+    pub tolerance_permille: u64,
+    pub runs: Vec<BenchScanDoc>,
+}
+
+fn parse_series(doc: &Value, what: &str) -> Result<Vec<BenchRun>, String> {
+    let Some(series) = doc.get("series").and_then(Value::as_array) else {
+        return Err(format!("{what}: missing series array"));
+    };
+    let mut runs = Vec::with_capacity(series.len());
+    for (i, entry) in series.iter().enumerate() {
+        let field = |key: &str| -> Result<u64, String> {
+            entry
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{what}: series[{i}] missing {key}"))
+        };
+        runs.push(BenchRun {
+            shards: field("shards")?,
+            reps: field("reps")?,
+            min_ns: field("min_ns")?,
+            median_ns: field("median_ns")?,
+            p90_ns: field("p90_ns")?,
+            max_ns: field("max_ns")?,
+        });
+    }
+    Ok(runs)
+}
+
+fn parse_scan_doc(doc: &Value, what: &str) -> Result<BenchScanDoc, String> {
+    match doc.get("schema").and_then(Value::as_str) {
+        Some("vp-bench-scan/v1") => {}
+        other => return Err(format!("{what}: unexpected schema {other:?}")),
+    }
+    Ok(BenchScanDoc {
+        run: doc.get("run").and_then(Value::as_u64).unwrap_or(0),
+        targets: doc
+            .get("targets")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{what}: missing targets"))?,
+        series: parse_series(doc, what)?,
+    })
+}
+
+/// Parses a `BENCH_scan.json` (`vp-bench-scan/v1`) document.
+pub fn parse_bench_scan(text: &str, what: &str) -> Result<BenchScanDoc, String> {
+    let doc: Value =
+        serde_json::from_str(text).map_err(|e| format!("{what}: invalid JSON: {e}"))?;
+    parse_scan_doc(&doc, what)
+}
+
+/// Parses a `vp-bench-baseline/v1` trajectory document.
+pub fn parse_baseline(text: &str, what: &str) -> Result<BenchBaseline, String> {
+    let doc: Value =
+        serde_json::from_str(text).map_err(|e| format!("{what}: invalid JSON: {e}"))?;
+    match doc.get("schema").and_then(Value::as_str) {
+        Some("vp-bench-baseline/v1") => {}
+        other => return Err(format!("{what}: unexpected schema {other:?}")),
+    }
+    let tolerance_permille = doc
+        .get("tolerance_permille")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{what}: missing tolerance_permille"))?;
+    let Some(runs) = doc.get("runs").and_then(Value::as_array) else {
+        return Err(format!("{what}: missing runs array"));
+    };
+    let runs = runs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| parse_scan_doc(r, &format!("{what}: runs[{i}]")))
+        .collect::<Result<Vec<_>, _>>()?;
+    if runs.is_empty() {
+        return Err(format!("{what}: baseline has no runs"));
+    }
+    Ok(BenchBaseline {
+        tolerance_permille,
+        runs,
+    })
+}
+
+/// The verdict for one shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardVerdict {
+    pub shards: u64,
+    pub current_min_ns: u64,
+    /// Best (lowest) min over the baseline trajectory; `None` if the
+    /// baseline has no entry for this shard count.
+    pub baseline_best_ns: Option<u64>,
+    /// `current * 1000 / baseline_best`; 1000 = exactly baseline.
+    pub ratio_permille: Option<u64>,
+    pub regressed: bool,
+}
+
+/// The overall check-bench verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchVerdict {
+    pub tolerance_permille: u64,
+    pub shards: Vec<ShardVerdict>,
+}
+
+impl BenchVerdict {
+    /// True if any shard count regressed.
+    pub fn regressed(&self) -> bool {
+        self.shards.iter().any(|s| s.regressed)
+    }
+
+    /// One report line per shard count, for CLI output.
+    pub fn report_lines(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .map(|s| match (s.baseline_best_ns, s.ratio_permille) {
+                (Some(best), Some(ratio)) => format!(
+                    "K={shards}: min {cur:.1}ms vs baseline best {best:.1}ms \
+                     (ratio {ratio} permille, limit {limit}) — {verdict}",
+                    shards = s.shards,
+                    cur = s.current_min_ns as f64 / 1e6,
+                    best = best as f64 / 1e6,
+                    limit = 1000 + self.tolerance_permille,
+                    verdict = if s.regressed { "REGRESSED" } else { "ok" },
+                ),
+                _ => format!(
+                    "K={}: no baseline entry — skipped (commit a new baseline run)",
+                    s.shards
+                ),
+            })
+            .collect()
+    }
+}
+
+/// Applies the noise-aware min-of-reps rule: each current shard count is
+/// compared against the best min across the whole baseline trajectory,
+/// with `tolerance_permille` headroom. Shard counts absent from the
+/// baseline are reported but never regress (a new K needs a committed
+/// baseline first).
+pub fn check_bench(current: &BenchScanDoc, baseline: &BenchBaseline) -> BenchVerdict {
+    let shards = current
+        .series
+        .iter()
+        .map(|cur| {
+            let best = baseline
+                .runs
+                .iter()
+                .flat_map(|run| run.series.iter())
+                .filter(|b| b.shards == cur.shards)
+                .map(|b| b.min_ns)
+                .min();
+            let ratio = best.map(|b| cur.min_ns.saturating_mul(1000) / b.max(1));
+            let regressed = match best {
+                Some(b) => {
+                    cur.min_ns.saturating_mul(1000)
+                        > b.saturating_mul(1000 + baseline.tolerance_permille)
+                }
+                None => false,
+            };
+            ShardVerdict {
+                shards: cur.shards,
+                current_min_ns: cur.min_ns,
+                baseline_best_ns: best,
+                ratio_permille: ratio,
+                regressed,
+            }
+        })
+        .collect();
+    BenchVerdict {
+        tolerance_permille: baseline.tolerance_permille,
+        shards,
+    }
+}
+
+fn run_value(doc: &BenchScanDoc) -> Value {
+    let mut obj = std::collections::BTreeMap::new();
+    obj.insert(
+        "schema".to_owned(),
+        Value::Str("vp-bench-scan/v1".to_owned()),
+    );
+    obj.insert("run".to_owned(), Value::U64(doc.run));
+    obj.insert("targets".to_owned(), Value::U64(doc.targets));
+    obj.insert(
+        "series".to_owned(),
+        Value::Array(
+            doc.series
+                .iter()
+                .map(|r| {
+                    let mut e = std::collections::BTreeMap::new();
+                    e.insert("shards".to_owned(), Value::U64(r.shards));
+                    e.insert("reps".to_owned(), Value::U64(r.reps));
+                    e.insert("min_ns".to_owned(), Value::U64(r.min_ns));
+                    e.insert("median_ns".to_owned(), Value::U64(r.median_ns));
+                    e.insert("p90_ns".to_owned(), Value::U64(r.p90_ns));
+                    e.insert("max_ns".to_owned(), Value::U64(r.max_ns));
+                    Value::Object(e)
+                })
+                .collect(),
+        ),
+    );
+    Value::Object(obj)
+}
+
+/// Renders a baseline, optionally with `current` appended to the
+/// trajectory, as the canonical `vp-bench-baseline/v1` document
+/// (`vp-monitor check-bench --append` uses this to extend the committed
+/// baseline after an accepted run).
+pub fn build_baseline_doc(baseline: &BenchBaseline, append: Option<&BenchScanDoc>) -> Value {
+    let mut doc = std::collections::BTreeMap::new();
+    doc.insert(
+        "schema".to_owned(),
+        Value::Str("vp-bench-baseline/v1".to_owned()),
+    );
+    doc.insert(
+        "tolerance_permille".to_owned(),
+        Value::U64(baseline.tolerance_permille),
+    );
+    doc.insert(
+        "runs".to_owned(),
+        Value::Array(
+            baseline
+                .runs
+                .iter()
+                .chain(append)
+                .map(run_value)
+                .collect(),
+        ),
+    );
+    Value::Object(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(run_no: u64, mins: &[(u64, u64)]) -> BenchScanDoc {
+        BenchScanDoc {
+            run: run_no,
+            targets: 15000,
+            series: mins
+                .iter()
+                .map(|&(shards, min_ns)| BenchRun {
+                    shards,
+                    reps: 9,
+                    min_ns,
+                    median_ns: min_ns + 10,
+                    p90_ns: min_ns + 20,
+                    max_ns: min_ns + 30,
+                })
+                .collect(),
+        }
+    }
+
+    fn baseline(tolerance: u64, runs: Vec<BenchScanDoc>) -> BenchBaseline {
+        BenchBaseline {
+            tolerance_permille: tolerance,
+            runs,
+        }
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = baseline(500, vec![run(1, &[(1, 1000), (2, 600)])]);
+        let verdict = check_bench(&run(2, &[(1, 1400), (2, 800)]), &base);
+        assert!(!verdict.regressed(), "{:?}", verdict.shards);
+        assert_eq!(verdict.shards[0].ratio_permille, Some(1400));
+    }
+
+    #[test]
+    fn beyond_tolerance_regresses() {
+        let base = baseline(500, vec![run(1, &[(1, 1000)])]);
+        let verdict = check_bench(&run(2, &[(1, 1501)]), &base);
+        assert!(verdict.regressed());
+        assert!(verdict.report_lines()[0].contains("REGRESSED"));
+        // Exactly at the limit still passes (strict inequality).
+        assert!(!check_bench(&run(2, &[(1, 1500)]), &base).regressed());
+    }
+
+    #[test]
+    fn trajectory_best_is_min_over_all_runs() {
+        // Run 2 was lucky (fast); run 3 slower. Best = 800.
+        let base = baseline(
+            500,
+            vec![run(1, &[(1, 1000)]), run(2, &[(1, 800)]), run(3, &[(1, 1100)])],
+        );
+        let verdict = check_bench(&run(4, &[(1, 1201)]), &base);
+        assert!(verdict.regressed()); // 1201 > 800 * 1.5
+        assert_eq!(verdict.shards[0].baseline_best_ns, Some(800));
+    }
+
+    #[test]
+    fn unknown_shard_count_never_regresses() {
+        let base = baseline(500, vec![run(1, &[(1, 1000)])]);
+        let verdict = check_bench(&run(2, &[(1, 1000), (16, 99999)]), &base);
+        assert!(!verdict.regressed());
+        assert!(verdict.report_lines()[1].contains("no baseline entry"));
+    }
+
+    #[test]
+    fn parse_roundtrip_through_baseline_doc() {
+        let base = baseline(500, vec![run(1, &[(1, 1000), (2, 600)])]);
+        let appended = run(2, &[(1, 900), (2, 550)]);
+        let doc = build_baseline_doc(&base, Some(&appended));
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        let back = parse_baseline(&text, "test").unwrap();
+        assert_eq!(back.runs.len(), 2);
+        assert_eq!(back.runs[1], appended);
+        assert_eq!(back.tolerance_permille, 500);
+    }
+
+    #[test]
+    fn real_bench_scan_document_parses() {
+        // Shape of the committed BENCH_scan.json (pre-`run` documents get
+        // run 0).
+        let text = r#"{
+            "benchmark": "run_scan", "schema": "vp-bench-scan/v1",
+            "targets": 15000,
+            "series": [{"max_ns": 5, "median_ns": 4, "min_ns": 3,
+                        "p90_ns": 5, "reps": 5, "shards": 1}]
+        }"#;
+        let doc = parse_bench_scan(text, "test").unwrap();
+        assert_eq!(doc.run, 0);
+        assert_eq!(doc.series[0].min_ns, 3);
+        assert!(parse_bench_scan("{}", "test").is_err());
+        assert!(parse_baseline(r#"{"schema":"vp-bench-baseline/v1","tolerance_permille":500,"runs":[]}"#, "t").is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! Loading monitoring inputs: catchment-round directories, the optional
+//! block→origin-AS sidecar, and `vp-obs-report/v1` documents.
+//!
+//! The canonical source is a snapshot directory written by
+//! `fig9_stability --snapshots <dir>`:
+//!
+//! ```text
+//! rounds/
+//!   origins.json   (optional `vp-monitor-origins/v1` sidecar)
+//!   r000.json      (CatchmentMap for round 0)
+//!   r001.json
+//!   ...
+//! ```
+//!
+//! Round files are ordered by file *name*, never by directory order or
+//! mtime — the ingest layer is as deterministic as everything downstream
+//! of it. All fallible paths return `Err(String)` with the offending file
+//! named; the library never panics on malformed input.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use serde_json::Value;
+use verfploeter::catchment::CatchmentMap;
+use vp_net::{Asn, Block24};
+
+use crate::diff::Origins;
+
+/// Loads every `r*.json` catchment snapshot in `dir`, sorted by file name
+/// (lexicographic == numeric for the zero-padded `r000.json` scheme).
+/// Non-round files (`origins.json`, anything not `r*.json`) are skipped.
+pub fn load_rounds_dir(dir: &Path) -> Result<Vec<CatchmentMap>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut names: Vec<String> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with('r') && name.ends_with(".json") {
+            names.push(name);
+        }
+    }
+    names.sort_unstable();
+    if names.is_empty() {
+        return Err(format!("no r*.json round files in {}", dir.display()));
+    }
+    let mut rounds = Vec::with_capacity(names.len());
+    for name in &names {
+        let path = dir.join(name);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let map = CatchmentMap::from_json(&text)
+            .map_err(|e| format!("{}: invalid catchment map: {e}", path.display()))?;
+        rounds.push(map);
+    }
+    Ok(rounds)
+}
+
+/// Parses the `vp-monitor-origins/v1` sidecar mapping each /24 block to
+/// its origin AS, used to attribute flips per AS.
+pub fn parse_origins(text: &str, what: &str) -> Result<Origins, String> {
+    let doc: Value =
+        serde_json::from_str(text).map_err(|e| format!("{what}: invalid JSON: {e}"))?;
+    match doc.get("schema").and_then(Value::as_str) {
+        Some("vp-monitor-origins/v1") => {}
+        other => return Err(format!("{what}: unexpected schema {other:?}")),
+    }
+    let Some(map) = doc.get("origins").and_then(Value::as_object) else {
+        return Err(format!("{what}: missing origins object"));
+    };
+    let mut origins: Origins = BTreeMap::new();
+    for (block, asn) in map {
+        let b: u32 = block
+            .parse()
+            .map_err(|_| format!("{what}: bad block key {block:?}"))?;
+        let a = asn
+            .as_u64()
+            .and_then(|a| u32::try_from(a).ok())
+            .ok_or_else(|| format!("{what}: bad ASN for block {block}"))?;
+        origins.insert(Block24(b), Asn(a));
+    }
+    Ok(origins)
+}
+
+/// Loads the `origins.json` sidecar next to the round files, if present.
+pub fn load_origins_sidecar(dir: &Path) -> Result<Option<Origins>, String> {
+    let path = dir.join("origins.json");
+    if !path.exists() {
+        return Ok(None);
+    }
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_origins(&text, &path.display().to_string()).map(Some)
+}
+
+/// Renders an [`Origins`] map as the canonical `vp-monitor-origins/v1`
+/// sidecar document.
+pub fn build_origins_doc(origins: &Origins) -> Value {
+    let mut map = BTreeMap::new();
+    for (block, asn) in origins {
+        map.insert(block.0.to_string(), Value::U64(u64::from(asn.0)));
+    }
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "schema".to_owned(),
+        Value::Str("vp-monitor-origins/v1".to_owned()),
+    );
+    doc.insert("origins".to_owned(), Value::Object(map));
+    Value::Object(doc)
+}
+
+/// One scan entry of a `vp-obs-report/v1` document, reduced to the fields
+/// the monitor consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanSummary {
+    /// Dataset name, e.g. `"STV-3-23/r17"`.
+    pub name: String,
+    pub probes_sent: u64,
+    pub blocks_mapped: u64,
+    /// Sim-time bounds: scan span = `sim_end_ns - started_ns`.
+    pub started_ns: u64,
+    pub sim_end_ns: u64,
+}
+
+impl ScanSummary {
+    /// Sim-time duration of the scan.
+    pub fn duration_ns(&self) -> u64 {
+        self.sim_end_ns.saturating_sub(self.started_ns)
+    }
+}
+
+/// A parsed `vp-obs-report/v1` document (the monitor's view of it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsReportDoc {
+    pub experiment: String,
+    pub mode: String,
+    pub scans: Vec<ScanSummary>,
+}
+
+impl ObsReportDoc {
+    /// Maps `"<dataset>/r<N>"` scan names to per-round durations: index
+    /// `N` → sim-time span. Scans without the round suffix are ignored.
+    /// This is how fig9's obs report feeds the `scan-duration` alert rule.
+    pub fn round_durations(&self) -> BTreeMap<u32, u64> {
+        let mut durations = BTreeMap::new();
+        for scan in &self.scans {
+            if let Some(idx) = scan.name.rsplit_once("/r").and_then(|(_, n)| n.parse().ok()) {
+                durations.insert(idx, scan.duration_ns());
+            }
+        }
+        durations
+    }
+}
+
+/// Parses a `vp-obs-report/v1` document from its JSON text.
+pub fn parse_obs_report(text: &str, what: &str) -> Result<ObsReportDoc, String> {
+    let doc: Value =
+        serde_json::from_str(text).map_err(|e| format!("{what}: invalid JSON: {e}"))?;
+    match doc.get("schema").and_then(Value::as_str) {
+        Some("vp-obs-report/v1") => {}
+        other => return Err(format!("{what}: unexpected schema {other:?}")),
+    }
+    let experiment = doc
+        .get("experiment")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{what}: missing experiment"))?
+        .to_owned();
+    let mode = doc
+        .get("mode")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{what}: missing mode"))?
+        .to_owned();
+    let mut scans = Vec::new();
+    for (i, scan) in doc
+        .get("scans")
+        .and_then(Value::as_array)
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
+        .iter()
+        .enumerate()
+    {
+        let field = |key: &str| -> Result<u64, String> {
+            scan.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{what}: scans[{i}] missing {key}"))
+        };
+        scans.push(ScanSummary {
+            name: scan
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{what}: scans[{i}] missing name"))?
+                .to_owned(),
+            probes_sent: field("probes_sent")?,
+            blocks_mapped: field("blocks_mapped")?,
+            started_ns: field("started_ns")?,
+            sim_end_ns: field("sim_end_ns")?,
+        });
+    }
+    Ok(ObsReportDoc {
+        experiment,
+        mode,
+        scans,
+    })
+}
+
+/// Loads and parses a `vp-obs-report/v1` file.
+pub fn load_obs_report(path: &Path) -> Result<ObsReportDoc, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_obs_report(&text, &path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_bgp::SiteId;
+
+    #[test]
+    fn rounds_dir_sorts_by_name_and_skips_sidecars() {
+        let dir = std::env::temp_dir().join("vp-monitor-ingest-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Write out of order; expect name order back.
+        for (file, block) in [("r002.json", 30u32), ("r000.json", 10), ("r001.json", 20)] {
+            let m = CatchmentMap::from_pairs(file, [(Block24(block), SiteId(0))]);
+            std::fs::write(dir.join(file), m.to_json()).unwrap();
+        }
+        std::fs::write(dir.join("origins.json"), "{not json").unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignore me").unwrap();
+        let rounds = load_rounds_dir(&dir).unwrap();
+        assert_eq!(rounds.len(), 3);
+        assert_eq!(rounds[0].site_of(Block24(10)), Some(SiteId(0)));
+        assert_eq!(rounds[2].site_of(Block24(30)), Some(SiteId(0)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_rounds_dir_is_an_error() {
+        let dir = std::env::temp_dir().join("vp-monitor-ingest-empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(load_rounds_dir(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn origins_doc_roundtrips() {
+        let mut origins: Origins = BTreeMap::new();
+        origins.insert(Block24(7), Asn(64512));
+        origins.insert(Block24(9), Asn(64513));
+        let doc = build_origins_doc(&origins);
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        let back = parse_origins(&text, "test").unwrap();
+        assert_eq!(back, origins);
+        assert!(parse_origins("{}", "test").is_err());
+        assert!(parse_origins("nope", "test").is_err());
+    }
+
+    #[test]
+    fn obs_report_parses_and_extracts_round_durations() {
+        let text = r#"{
+            "schema": "vp-obs-report/v1",
+            "experiment": "fig9_stability",
+            "mode": "summary",
+            "scans": [
+                {"name": "STV-3-23/r0", "probes_sent": 10, "blocks_mapped": 9,
+                 "started_ns": 0, "sim_end_ns": 500},
+                {"name": "STV-3-23/r1", "probes_sent": 10, "blocks_mapped": 9,
+                 "started_ns": 1000, "sim_end_ns": 1700},
+                {"name": "SBV-5-15", "probes_sent": 3, "blocks_mapped": 3,
+                 "started_ns": 0, "sim_end_ns": 10}
+            ]
+        }"#;
+        let doc = parse_obs_report(text, "test").unwrap();
+        assert_eq!(doc.experiment, "fig9_stability");
+        assert_eq!(doc.scans.len(), 3);
+        let durations = doc.round_durations();
+        assert_eq!(durations.len(), 2); // the unnumbered scan is skipped
+        assert_eq!(durations[&0], 500);
+        assert_eq!(durations[&1], 700);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        assert!(parse_obs_report(r#"{"schema":"other/v1"}"#, "t").is_err());
+        assert!(parse_obs_report("[]", "t").is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! # vp-monitor — the consumer side of the observability pipeline
+//!
+//! PR 3's `vp-obs` layer made every experiment *emit* artifacts: metric
+//! registries, sim-time phase spans, and `vp-obs-report/v1` run reports.
+//! This crate closes the loop by *watching* them. It is the reproduction
+//! of the paper's headline operational claim (§4.4/Fig. 9): Verfploeter is
+//! cheap enough to re-run continuously, so catchment drift — routing
+//! changes, site flips, load-share skew, coverage loss — becomes an alert
+//! stream an operator can act on, not a post-hoc analysis.
+//!
+//! Four layers (DESIGN.md §10):
+//!
+//! 1. **Ingest** ([`ingest`]) — loads time-ordered sequences of catchment
+//!    snapshots (the fig9 stability rounds are the canonical source, via
+//!    `fig9_stability --snapshots <dir>`), the optional block→origin-AS
+//!    sidecar, and `vp-obs-report/v1` documents for sim-time scan
+//!    durations.
+//! 2. **Diff engine** ([`diff`]) — per-/24 catchment flips, per-AS flip
+//!    aggregation, site load-share deltas, and coverage changes between
+//!    consecutive rounds; window aggregates fold through
+//!    [`diff::DriftSummary::merge`], which obeys the same merge algebra as
+//!    `SimStats`/`Registry` (associative, commutative, empty identity —
+//!    and lint rule d3 holds this crate to the explicit-marker contract).
+//! 3. **Alert evaluator** ([`alert`]) — deterministic threshold +
+//!    hysteresis rules emitting canonical `vp-monitor-alert/v1` JSON.
+//!    No wall clock anywhere: rounds are the only notion of time, so the
+//!    same input sequence always yields byte-identical alert documents.
+//! 4. **Bench-regression checker** ([`bench`]) — compares the current
+//!    `BENCH_scan.json` against the committed baseline trajectory
+//!    (`results/monitor/bench_baseline.json`) with a noise-aware
+//!    min-of-reps rule; `scripts/check.sh` runs it as a gate.
+//!
+//! The `vp-monitor` binary exposes all of it: `diff`, `watch`,
+//! `check-bench`, `validate`.
+
+#![deny(unused_must_use)]
+
+pub mod alert;
+pub mod bench;
+pub mod diff;
+pub mod ingest;
+pub mod pipeline;
+pub mod schema;
+
+pub use alert::{Alert, AlertConfig, Evaluator};
+pub use bench::{check_bench, BenchRun, BenchVerdict};
+pub use diff::{diff_rounds, diff_sequence, DriftSummary, Origins, RoundDiff};
+pub use ingest::{load_obs_report, load_rounds_dir, ObsReportDoc, ScanSummary};
+pub use pipeline::{run_diff_pipeline, DiffOutput};

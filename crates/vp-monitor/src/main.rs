@@ -1,0 +1,282 @@
+//! The `vp-monitor` CLI: continuous catchment monitoring over vp-obs
+//! artifacts.
+//!
+//! ```text
+//! vp-monitor diff --rounds <dir> [--origins <file>] [--obs-report <file>]
+//!                 [--source <name>] [--out <dir>]
+//! vp-monitor watch --rounds <dir> [--origins <file>] [--obs-report <file>]
+//! vp-monitor check-bench --current <BENCH_scan.json> --baseline <file>
+//!                        [--append <file>]
+//! vp-monitor validate <file>...
+//! ```
+//!
+//! * `diff` runs the whole pipeline over a snapshot directory and writes
+//!   the canonical `drift.json` + `alerts.json` under `--out` (printing
+//!   the summary either way).
+//! * `watch` replays the same sequence round by round, printing each
+//!   alert transition as it happens — the offline stand-in for tailing a
+//!   live 15-minute measurement cadence.
+//! * `check-bench` gates on the committed perf baseline trajectory; exit
+//!   status 1 means a regression.
+//! * `validate` checks any tagged document (obs report, drift, alert,
+//!   bench baseline) against its embedded schema snapshot.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vp_monitor::alert::AlertConfig;
+use vp_monitor::bench::{build_baseline_doc, check_bench, parse_baseline, parse_bench_scan};
+use vp_monitor::diff::Origins;
+use vp_monitor::ingest::{load_obs_report, load_origins_sidecar, load_rounds_dir};
+use vp_monitor::pipeline::run_diff_pipeline;
+use vp_monitor::schema::validate_tagged;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: vp-monitor <diff|watch|check-bench|validate> [options]\n\
+         \n\
+         diff        --rounds <dir> [--origins <file>] [--obs-report <file>]\n\
+         \x20           [--source <name>] [--out <dir>]\n\
+         watch       --rounds <dir> [--origins <file>] [--obs-report <file>]\n\
+         check-bench --current <file> --baseline <file> [--append <file>]\n\
+         validate    <file>..."
+    );
+    ExitCode::from(2)
+}
+
+/// Options shared by `diff` and `watch`.
+struct DiffArgs {
+    rounds: PathBuf,
+    origins: Option<PathBuf>,
+    obs_report: Option<PathBuf>,
+    source: String,
+    out: Option<PathBuf>,
+}
+
+fn parse_diff_args(args: &[String]) -> Result<DiffArgs, String> {
+    let mut rounds = None;
+    let mut origins = None;
+    let mut obs_report = None;
+    let mut source = None;
+    let mut out = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} wants a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--rounds" => rounds = Some(PathBuf::from(value(i)?)),
+            "--origins" => origins = Some(PathBuf::from(value(i)?)),
+            "--obs-report" => obs_report = Some(PathBuf::from(value(i)?)),
+            "--source" => source = Some(value(i)?.clone()),
+            "--out" => out = Some(PathBuf::from(value(i)?)),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 2;
+    }
+    let rounds = rounds.ok_or("--rounds is required")?;
+    let source = source.unwrap_or_else(|| {
+        rounds
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "rounds".to_owned())
+    });
+    Ok(DiffArgs {
+        rounds,
+        origins,
+        obs_report,
+        source,
+        out,
+    })
+}
+
+/// Loads everything a diff/watch run needs.
+fn load_inputs(
+    args: &DiffArgs,
+) -> Result<
+    (
+        Vec<verfploeter::catchment::CatchmentMap>,
+        Option<Origins>,
+        Option<BTreeMap<u32, u64>>,
+    ),
+    String,
+> {
+    let rounds = load_rounds_dir(&args.rounds)?;
+    let origins = match &args.origins {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            Some(vp_monitor::ingest::parse_origins(
+                &text,
+                &path.display().to_string(),
+            )?)
+        }
+        None => load_origins_sidecar(&args.rounds)?,
+    };
+    let durations = match &args.obs_report {
+        Some(path) => Some(load_obs_report(path)?.round_durations()),
+        None => None,
+    };
+    Ok((rounds, origins, durations))
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let args = parse_diff_args(args)?;
+    let (rounds, origins, durations) = load_inputs(&args)?;
+    let out = run_diff_pipeline(
+        &args.source,
+        &rounds,
+        origins.as_ref(),
+        durations.as_ref(),
+        &AlertConfig::default(),
+    );
+    println!("{}", out.summary_text());
+    for t in &out.transitions {
+        println!("  {t}");
+    }
+    if let Some(dir) = &args.out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        for (name, doc) in [("drift.json", &out.drift_doc), ("alerts.json", &out.alert_doc)] {
+            let path = dir.join(name);
+            let text = serde_json::to_string_pretty(doc)
+                .map_err(|e| format!("serialize {name}: {e}"))?;
+            std::fs::write(&path, text)
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+            println!("wrote {}", path.display());
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
+    let args = parse_diff_args(args)?;
+    if args.out.is_some() {
+        return Err("watch does not write documents; use diff --out".to_owned());
+    }
+    let (rounds, origins, durations) = load_inputs(&args)?;
+    // Same pipeline as `diff`, replayed with per-round narration.
+    let mut evaluator = vp_monitor::alert::Evaluator::new(AlertConfig::default());
+    let diffs = vp_monitor::diff::diff_sequence(&rounds, origins.as_ref());
+    for d in &diffs {
+        println!(
+            "round {r}: {stable} stable, {flipped} flipped ({rate} permille), \
+             {to_nr} to-NR, {from_nr} from-NR, {blocks} blocks",
+            r = d.round,
+            stable = d.stable,
+            flipped = d.flipped,
+            rate = d.flip_rate_permille,
+            to_nr = d.to_nr,
+            from_nr = d.from_nr,
+            blocks = d.cur_blocks,
+        );
+        let dur = durations.as_ref().and_then(|m| m.get(&d.round).copied());
+        for t in evaluator.observe(d, dur) {
+            println!("  ** {t}");
+        }
+    }
+    let alerts = evaluator.finish();
+    let active = alerts.iter().filter(|a| a.cleared_round.is_none()).count();
+    println!("{} alerts total, {active} still active", alerts.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_check_bench(args: &[String]) -> Result<ExitCode, String> {
+    let mut current = None;
+    let mut baseline = None;
+    let mut append = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} wants a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--current" => current = Some(PathBuf::from(value(i)?)),
+            "--baseline" => baseline = Some(PathBuf::from(value(i)?)),
+            "--append" => append = Some(PathBuf::from(value(i)?)),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 2;
+    }
+    let current = current.ok_or("--current is required")?;
+    let baseline_path = baseline.ok_or("--baseline is required")?;
+
+    let current_doc = parse_bench_scan(
+        &std::fs::read_to_string(&current)
+            .map_err(|e| format!("cannot read {}: {e}", current.display()))?,
+        &current.display().to_string(),
+    )?;
+    let baseline_doc = parse_baseline(
+        &std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?,
+        &baseline_path.display().to_string(),
+    )?;
+
+    let verdict = check_bench(&current_doc, &baseline_doc);
+    for line in verdict.report_lines() {
+        println!("{line}");
+    }
+    if verdict.regressed() {
+        eprintln!("check-bench: perf regression against committed baseline");
+        return Ok(ExitCode::FAILURE);
+    }
+    if let Some(path) = append {
+        let doc = build_baseline_doc(&baseline_doc, Some(&current_doc));
+        let text =
+            serde_json::to_string_pretty(&doc).map_err(|e| format!("serialize baseline: {e}"))?;
+        std::fs::write(&path, text).map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("appended run {} to {}", current_doc.run, path.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
+    if args.is_empty() {
+        return Err("validate wants at least one file".to_owned());
+    }
+    let mut failures = 0usize;
+    for file in args {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let doc =
+            serde_json::from_str(&text).map_err(|e| format!("{file}: invalid JSON: {e}"))?;
+        let errors = validate_tagged(&doc);
+        if errors.is_empty() {
+            println!("{file}: ok");
+        } else {
+            failures += 1;
+            for e in &errors {
+                eprintln!("{file}: {e}");
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("validate: {failures} document(s) failed");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    // vp-lint: allow(d2): the CLI reads its own argv; no measurement-path entropy.
+    let args: Vec<String> = std::env::args().collect();
+    let Some(command) = args.get(1) else {
+        return usage();
+    };
+    let rest = &args[2..];
+    let result = match command.as_str() {
+        "diff" => cmd_diff(rest),
+        "watch" => cmd_watch(rest),
+        "check-bench" => cmd_check_bench(rest),
+        "validate" => cmd_validate(rest),
+        _ => return usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("vp-monitor {command}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

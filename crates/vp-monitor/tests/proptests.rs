@@ -1,0 +1,114 @@
+//! Merge-algebra proptests for [`vp_monitor::DriftSummary`]: associative,
+//! commutative, empty identity — the same contract `SimStats` and
+//! `Registry` carry, and the property that makes windowed drift summaries
+//! fold to the same totals however monitoring windows are grouped.
+
+use proptest::prelude::*;
+use vp_monitor::diff::{diff_sequence, DriftSummary, RoundDiff};
+use verfploeter::catchment::CatchmentMap;
+use vp_bgp::SiteId;
+use vp_net::Block24;
+
+/// A generated drift summary over a closed AS set so merges collide on
+/// keys.
+fn summary_strategy() -> impl Strategy<Value = DriftSummary> {
+    let asn_flip = (0u32..4, 1u64..50);
+    (
+        (0u64..20, 0u64..500, 0u64..50, 0u64..20), // rounds/stable/flipped/to_nr
+        (0u64..20, 0u64..50, 0u64..1000, 0u64..1000), // from_nr/max_flipped/rate/cover
+        (0u64..1000, prop::collection::vec(asn_flip, 0..5)),
+    )
+        .prop_map(
+            |((rounds, stable, flipped, to_nr), (from_nr, maxf, rate, cover), (share, flips))| {
+                let mut s = DriftSummary {
+                    rounds,
+                    stable,
+                    flipped,
+                    to_nr,
+                    from_nr,
+                    max_flipped: maxf,
+                    max_flip_rate_permille: rate,
+                    max_coverage_drop_permille: cover,
+                    max_share_delta_permille: share,
+                    ..DriftSummary::default()
+                };
+                for (asn, n) in flips {
+                    *s.flips_by_as.entry(64500 + asn).or_insert(0) += n;
+                }
+                s
+            },
+        )
+}
+
+/// A short random round sequence over a small block/site universe, so
+/// flips, coverage changes and share moves all actually occur.
+fn rounds_strategy() -> impl Strategy<Value = Vec<CatchmentMap>> {
+    let round = prop::collection::vec((0u32..8, 0u8..3), 1..8);
+    prop::collection::vec(round, 2..6).prop_map(|rounds| {
+        rounds
+            .into_iter()
+            .enumerate()
+            .map(|(i, pairs)| {
+                CatchmentMap::from_pairs(
+                    &format!("r{i}"),
+                    pairs.into_iter().map(|(b, s)| (Block24(b), SiteId(s))),
+                )
+            })
+            .collect()
+    })
+}
+
+// vp-lint: merge-tested(DriftSummary::merge)
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn drift_summary_merge_is_associative_and_commutative(
+        a in summary_strategy(),
+        b in summary_strategy(),
+        c in summary_strategy(),
+    ) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+    }
+
+    #[test]
+    fn drift_summary_merge_empty_identity(a in summary_strategy()) {
+        let mut left = DriftSummary::default();
+        left.merge(&a);
+        prop_assert_eq!(&left, &a);
+        let mut right = a.clone();
+        right.merge(&DriftSummary::default());
+        prop_assert_eq!(&right, &a);
+    }
+
+    /// Splitting a real diff sequence at any point and merging the two
+    /// window summaries equals summarizing the whole window at once.
+    #[test]
+    fn windowed_summaries_fold_like_the_whole(
+        rounds in rounds_strategy(),
+        split in 0usize..8,
+    ) {
+        let diffs: Vec<RoundDiff> = diff_sequence(&rounds, None);
+        let whole = DriftSummary::accumulate(&diffs);
+        let cut = split.min(diffs.len());
+        let mut folded = DriftSummary::accumulate(&diffs[..cut]);
+        folded.merge(&DriftSummary::accumulate(&diffs[cut..]));
+        prop_assert_eq!(&folded, &whole);
+        // The taxonomy partitions every previous round's responders.
+        for d in &diffs {
+            prop_assert_eq!(d.stable + d.flipped + d.to_nr, d.prev_blocks);
+        }
+    }
+}

@@ -143,6 +143,63 @@ impl Histogram {
         self.max
     }
 
+    /// Linearly interpolated q-quantile estimate.
+    ///
+    /// Locates the continuous 0-based rank `q * (count - 1)` in the
+    /// cumulative bucket distribution and interpolates between the
+    /// holding bucket's lower and upper bounds, clamped to the observed
+    /// `[min, max]`. Unlike [`Histogram::quantile`] — an upper-bound rank
+    /// pick, where a small sample count pins every upper quantile to the
+    /// maximum — this estimator separates p90 from max even at single-digit
+    /// sample counts (the `vp-bench` regression trajectory relies on that).
+    /// Returns 0 for an empty histogram.
+    pub fn quantile_interpolated(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The extreme quantiles are observed values, not estimates.
+        if q == 0.0 {
+            return self.min();
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        let target = q * (self.count - 1) as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let first_rank = cum as f64;
+            cum += n;
+            let last_rank = (cum - 1) as f64;
+            if target <= last_rank {
+                // Samples in bucket i are assumed evenly spread across the
+                // bucket's value range; clamp to what was actually seen.
+                let lower = if i == 0 {
+                    self.min()
+                } else {
+                    self.bounds[i - 1].clamp(self.min(), self.max)
+                };
+                let upper = self
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .unwrap_or(self.max)
+                    .clamp(lower, self.max);
+                let frac = if n > 1 {
+                    (target - first_rank) / (n - 1) as f64
+                } else {
+                    0.5
+                };
+                let est = lower as f64 + frac * (upper - lower) as f64;
+                return (est.round() as u64).clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
     /// Element-wise bucket sum. Panics on mismatched bounds; an empty
     /// histogram with the same bounds is the identity.
     pub fn merge(&mut self, other: &Histogram) {
@@ -498,6 +555,68 @@ mod tests {
     }
 
     #[test]
+    fn values_on_bucket_edges_land_in_the_bounded_bucket() {
+        // An upper bound is inclusive: a sample exactly on a bucket edge
+        // belongs to that bucket, never the next one up.
+        let mut h = Histogram::new(vec![10, 100, 1000]);
+        h.observe(10);
+        h.observe(100);
+        h.observe(1000);
+        assert_eq!(h.buckets(), &[1, 1, 1, 0]);
+        // One past each edge spills into the following bucket.
+        h.observe(11);
+        h.observe(101);
+        h.observe(1001);
+        assert_eq!(h.buckets(), &[1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn values_above_the_top_bucket_overflow() {
+        let mut h = Histogram::new(vec![10]);
+        h.observe(u64::MAX);
+        h.observe(11);
+        assert_eq!(h.buckets(), &[0, 2]);
+        assert_eq!(h.max(), u64::MAX);
+        // The overflow bucket has no upper bound, so quantiles report the
+        // observed max rather than inventing one.
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.quantile_interpolated(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new(vec![10, 100]);
+        for q in [0.0, 0.5, 0.9, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+            assert_eq!(h.quantile_interpolated(q), 0);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn interpolated_quantiles_do_not_pin_to_max() {
+        // Nine samples spread over one wide bucket: the rank-pick p90 is
+        // forced to a bucket bound (clamped to max), while interpolation
+        // places it inside the observed range, strictly below max.
+        let mut h = Histogram::new(vec![1_000_000]);
+        for v in [100, 200, 300, 400, 500, 600, 700, 800, 900] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.9), h.max(), "rank-pick pins p90 to max");
+        let p90 = h.quantile_interpolated(0.9);
+        assert!(p90 < h.max(), "interpolated p90 {p90} still pinned to max");
+        assert!(p90 > h.quantile_interpolated(0.5), "p90 not above median");
+        // A single sample is every quantile.
+        let mut one = Histogram::new(vec![1_000_000]);
+        one.observe(42);
+        assert_eq!(one.quantile_interpolated(0.0), 42);
+        assert_eq!(one.quantile_interpolated(0.5), 42);
+        assert_eq!(one.quantile_interpolated(1.0), 42);
+    }
+
+    #[test]
     fn exponential_bounds_strictly_increase() {
         let h = Histogram::exponential(1_000, 3, 2, 32);
         assert_eq!(h.bounds().len(), 32);
@@ -532,6 +651,38 @@ mod tests {
         let z = json.find("z.last").unwrap_or(0);
         assert!(a < z, "not sorted: {json}");
         assert!(json.contains("says \\\"hi\\\""), "not escaped: {json}");
+    }
+
+    #[test]
+    fn prometheus_label_values_escape_quotes_and_backslashes() {
+        let mut r = Registry::new();
+        r.counter_add("c", &[("path", "C:\\scan\\run")], 1);
+        r.counter_add("c", &[("path", "says \"hi\"")], 2);
+        let text = r.to_prometheus_text();
+        // Prometheus text format escapes backslash and double-quote inside
+        // label values exactly like JSON string literals do.
+        assert!(
+            text.contains("c{path=\"C:\\\\scan\\\\run\"} 1"),
+            "backslash not escaped: {text}"
+        );
+        assert!(
+            text.contains("c{path=\"says \\\"hi\\\"\"} 2"),
+            "quote not escaped: {text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_label_values_escape_newlines() {
+        let mut r = Registry::new();
+        r.gauge_add("g", &[("note", "a\nb")], 3);
+        let text = r.to_prometheus_text();
+        assert!(
+            text.contains("g{note=\"a\\nb\"} 3"),
+            "newline not escaped: {text}"
+        );
+        // Escaping must not leave a raw newline splitting the sample line.
+        let sample_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("g{")).collect();
+        assert_eq!(sample_lines.len(), 1, "{text}");
     }
 
     #[test]

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build, test, the determinism-and-hygiene lint, and
-# an end-to-end observability pass (run one experiment with --obs full and
-# validate the emitted reports against the checked-in schema snapshot).
+# Full pre-merge check: build, test, the determinism-and-hygiene lint, an
+# end-to-end observability pass (run one experiment with --obs full and
+# validate the emitted reports against the checked-in schema snapshot),
+# and the vp-monitor gates: validate every committed tagged document,
+# replay the fig9 tiny sequence and byte-compare the drift/alert docs
+# against the committed goldens, and check BENCH_scan.json against the
+# committed perf baseline trajectory.
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,4 +21,30 @@ cargo run -q --release -p vp-experiments --bin fig2_broot_maps -- \
 VP_OBS_REPORT_DIR="$PWD/$obs_dir/obs" cargo test -q -p vp-experiments \
     --test obs_report emitted_reports_match_schema_snapshot
 
-echo "check.sh: build + tests + lint + obs reports all clean"
+vp_monitor="target/release/vp-monitor"
+
+# Every committed tagged document must conform to its embedded schema.
+"$vp_monitor" validate results/obs/*.report.json \
+    results/monitor/fig9_tiny.drift.json \
+    results/monitor/fig9_tiny.alerts.json \
+    results/monitor/bench_baseline.json >/dev/null
+
+# Replay fig9 at tiny scale through the snapshot + diff pipeline and
+# byte-compare against the committed goldens: any drift in the drift
+# detector itself fails the build.
+mon_dir="target/monitor-check"
+rm -rf "$mon_dir"
+target/release/fig9_stability --scale tiny --out "$mon_dir" \
+    --snapshots "$mon_dir/rounds" --obs summary >/dev/null
+"$vp_monitor" diff --rounds "$mon_dir/rounds" \
+    --obs-report "$mon_dir/obs/fig9_stability.report.json" \
+    --source fig9_stability/tiny --out "$mon_dir/monitor" >/dev/null
+diff -u results/monitor/fig9_tiny.drift.json "$mon_dir/monitor/drift.json"
+diff -u results/monitor/fig9_tiny.alerts.json "$mon_dir/monitor/alerts.json"
+
+# Perf gate: the committed BENCH_scan.json must stay within tolerance of
+# the committed baseline trajectory (exit nonzero on regression).
+"$vp_monitor" check-bench --current BENCH_scan.json \
+    --baseline results/monitor/bench_baseline.json
+
+echo "check.sh: build + tests + lint + obs reports + monitor gates all clean"
