@@ -52,7 +52,7 @@ pub fn as_divisions(
             asn,
             announced_prefixes: world.announced_prefixes(asn),
             sites_seen: conv::sat_u32(s.len()),
-            observed_blocks: blocks[&asn],
+            observed_blocks: blocks[&asn], // vp-lint: allow(g1): every asn keyed in `sites` gets a `blocks` entry in the same loop.
         })
         .collect()
 }
@@ -90,7 +90,7 @@ pub fn fig7_rows(divisions: &[AsDivision]) -> Vec<Fig7Row> {
             counts.sort_by(f64::total_cmp);
             let pct = |p: f64| -> f64 {
                 let idx = conv::index(conv::sat_f64_to_u32(((counts.len() - 1) as f64 * p).round()));
-                counts[idx]
+                counts[idx] // vp-lint: allow(g1): idx = round((len-1)*p) with p <= 1, always < len.
             };
             Fig7Row {
                 sites,
@@ -131,7 +131,7 @@ pub fn fig8_rows(
             continue;
         }
         if let Some(info) = world.block(block) {
-            let slot = &mut per_prefix[conv::index(info.prefix_idx)];
+            let slot = &mut per_prefix[conv::index(info.prefix_idx)]; // vp-lint: allow(g1): prefix_idx indexes world.prefixes and per_prefix is sized to it.
             slot.0.insert(site);
             slot.1 += 1;
         }
@@ -142,7 +142,7 @@ pub fn fig8_rows(
             continue;
         }
         grouped
-            .entry(world.prefixes[i].prefix.len())
+            .entry(world.prefixes[i].prefix.len()) // vp-lint: allow(g1): per_prefix is sized to world.prefixes, so i indexes both.
             .or_default()
             .push(slot);
     }
@@ -154,7 +154,7 @@ pub fn fig8_rows(
             let mut single_vp = 0usize;
             for (sites, blocks) in slots {
                 let k = sites.len().clamp(1, max_sites);
-                counts[k - 1] += 1;
+                counts[k - 1] += 1; // vp-lint: allow(g1): k is clamped to 1..=max_sites and counts has max_sites slots.
                 if *blocks == 1 {
                     single_vp += 1;
                 }

@@ -63,7 +63,7 @@ pub fn suggest_sites(
             PlacementSuggestion {
                 country,
                 high_rtt_blocks: acc.rtts.len() as u64,
-                median_rtt: acc.rtts[acc.rtts.len() / 2],
+                median_rtt: acc.rtts[acc.rtts.len() / 2], // vp-lint: allow(g1): groups are created on first push, so rtts is non-empty.
                 affected_queries: acc.queries,
             }
         })
@@ -91,7 +91,7 @@ pub fn rtt_percentiles(
     v.sort_unstable();
     let p90 = conv::index(conv::sat_f64_to_u32(v.len() as f64 * 0.9)).min(v.len() - 1);
     let last = *v.last()?;
-    Some((v[v.len() / 2], v[p90], last))
+    Some((v[v.len() / 2], v[p90], last)) // vp-lint: allow(g1): emptiness returns early above and p90 is clamped to len-1.
 }
 
 #[cfg(test)]

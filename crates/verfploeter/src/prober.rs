@@ -71,10 +71,10 @@ impl Prober {
 
     /// Decodes a probe/reply payload back to the hitlist index.
     pub fn decode_payload(payload: &[u8]) -> Option<u64> {
-        if payload.len() != 12 || &payload[..4] != PAYLOAD_MAGIC {
+        if payload.len() != 12 || payload.get(..4)? != PAYLOAD_MAGIC {
             return None;
         }
-        Some(u64::from_be_bytes(payload[4..12].try_into().ok()?))
+        Some(u64::from_be_bytes(payload.get(4..12)?.try_into().ok()?))
     }
 
     /// Builds the probe schedule: every hitlist entry exactly once, in

@@ -39,7 +39,9 @@ impl TextTable {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
+                if let Some(w) = widths.get_mut(i) {
+                    *w = (*w).max(cell.len());
+                }
             }
         }
         let mut out = String::new();
@@ -48,10 +50,11 @@ impl TextTable {
                 if i > 0 {
                     out.push_str("  ");
                 }
+                let width = widths.get(i).copied().unwrap_or(0);
                 if i == 0 {
-                    let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+                    let _ = write!(out, "{cell:<width$}");
                 } else {
-                    let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+                    let _ = write!(out, "{cell:>width$}");
                 }
             }
             out.push('\n');

@@ -34,7 +34,7 @@ pub fn classify_rounds(rounds: &[CatchmentMap]) -> Vec<RoundDelta> {
         .windows(2)
         .enumerate()
         .map(|(i, w)| {
-            let (prev, cur) = (&w[0], &w[1]);
+            let (prev, cur) = (&w[0], &w[1]); // vp-lint: allow(g1): windows(2) yields exactly two elements.
             let mut delta = RoundDelta {
                 round: conv::sat_u32(i) + 1,
                 stable: 0,
@@ -125,7 +125,7 @@ pub fn flips_by_as(rounds: &[CatchmentMap], world: &Internet) -> FlipTable {
     let mut flips: BTreeMap<Asn, u64> = BTreeMap::new();
     let mut blocks: BTreeMap<Asn, BTreeSet<Block24>> = BTreeMap::new();
     for w in rounds.windows(2) {
-        let (prev, cur) = (&w[0], &w[1]);
+        let (prev, cur) = (&w[0], &w[1]); // vp-lint: allow(g1): windows(2) yields exactly two elements.
         for (block, site) in prev.iter() {
             if let Some(s) = cur.site_of(block) {
                 if s != site {
@@ -142,7 +142,7 @@ pub fn flips_by_as(rounds: &[CatchmentMap], world: &Internet) -> FlipTable {
         .into_iter()
         .map(|(asn, f)| FlipRow {
             asn,
-            blocks: blocks[&asn].len() as u64,
+            blocks: blocks[&asn].len() as u64, // vp-lint: allow(g1): every flip ASN was keyed into blocks by the same pass that counted its flips.
             flips: f,
             frac: f as f64 / total_flips.max(1) as f64,
         })

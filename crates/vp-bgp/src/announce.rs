@@ -97,6 +97,7 @@ impl Announcement {
     }
 
     /// Sets the prepend count for a named site. Panics on unknown name.
+    // vp-lint: allow(g1): documented contract — scenario builders address sites by the fixed testbed names, and a typo must fail loudly, not route silently.
     pub fn set_prepend(&mut self, name: &str, prepend: u8) -> &mut Self {
         let site = self
             .sites
@@ -108,6 +109,7 @@ impl Announcement {
     }
 
     /// Enables/disables a named site. Panics on unknown name.
+    // vp-lint: allow(g1): documented contract — scenario builders address sites by the fixed testbed names, and a typo must fail loudly, not route silently.
     pub fn set_enabled(&mut self, name: &str, enabled: bool) -> &mut Self {
         let site = self
             .sites

@@ -53,7 +53,7 @@ pub struct AsRoute {
 impl AsRoute {
     /// The tie-broken site this AS as a whole routes to.
     pub fn selected_site(&self) -> SiteId {
-        self.candidates[self.selected].site
+        self.candidates[self.selected].site // vp-lint: allow(g1): BgpSim sets `selected` to a valid candidates position.
     }
 
     /// Distinct sites reachable over equally-preferred routes.
@@ -77,13 +77,13 @@ pub struct RoutingTable {
 impl RoutingTable {
     /// The site the AS-level selected route leads to.
     pub fn site_of_as(&self, asn: Asn) -> Option<SiteId> {
-        self.per_as[asn.index()].as_ref().map(AsRoute::selected_site)
+        self.per_as[asn.index()].as_ref().map(AsRoute::selected_site) // vp-lint: allow(g1): per_as is sized to the AS graph that minted `asn`.
     }
 
     /// The site traffic from this PoP reaches (the catchment of every block
     /// homed on the PoP).
     pub fn site_of_pop(&self, pop: PopId) -> Option<SiteId> {
-        self.per_pop_site[pop.index()]
+        self.per_pop_site[pop.index()] // vp-lint: allow(g1): per_pop_site is sized to the graph that minted `pop`.
     }
 
     /// Distinct sites seen from any PoP of this AS — the quantity behind
@@ -93,7 +93,7 @@ impl RoutingTable {
             .node(asn)
             .pops
             .iter()
-            .filter_map(|p| self.per_pop_site[p.index()])
+            .filter_map(|p| self.per_pop_site[p.index()]) // vp-lint: allow(g1): PoP ids come from the same graph the table was built over.
             .collect();
         v.sort();
         v.dedup();
@@ -186,6 +186,7 @@ impl<'a> BgpSim<'a> {
 
     /// Like [`BgpSim::route`], additionally returning the propagation work
     /// counters (same table, bit for bit — the counters are observers).
+    // vp-lint: allow(g1): the propagation core indexes dense per-AS vectors sized to self.graph; every id is a node of that graph.
     pub fn route_traced(&self, ann: &Announcement) -> (RoutingTable, RouteObs) {
         let mut obs = RouteObs::default();
         let n = self.graph.len();
@@ -193,7 +194,7 @@ impl<'a> BgpSim<'a> {
 
         let mut origin_site: Vec<Option<(SiteId, u32)>> = vec![None; n];
         for site in ann.active_sites() {
-            origin_site[site.host_asn.index()] = Some((site.id, site.prepend as u32));
+            origin_site[site.host_asn.index()] = Some((site.id, site.prepend as u32)); // vp-lint: allow(g1): host ASNs are nodes of the graph this sim was built over.
         }
 
         // Stage 1: customer routes (and origin injections) climb upward.

@@ -161,6 +161,7 @@ impl<'w> QueryLog<'w> {
     }
 
     /// Daily queries from the `i`-th block of the world.
+    // vp-lint: allow(g1): index-by-contract accessor — documented to require i < world.blocks.len(), mirroring slice indexing.
     pub fn daily_by_idx(&self, i: usize) -> f64 {
         self.daily[i]
     }
@@ -169,7 +170,7 @@ impl<'w> QueryLog<'w> {
     pub fn daily(&self, block: Block24) -> f64 {
         self.world
             .block_idx(block)
-            .map_or(0.0, |i| self.daily[i as usize])
+            .map_or(0.0, |i| self.daily[i as usize]) // vp-lint: allow(g1): block_idx returns positions in blocks, and daily is sized to blocks.
     }
 
     /// Queries from block `i` during UTC hour `hour` (0..24).
@@ -178,6 +179,7 @@ impl<'w> QueryLog<'w> {
     /// local time derived from the block's longitude; deterministic noise
     /// is added per (block, hour). The curve averages to 1 over the day, so
     /// hourly values sum to ≈ the daily volume.
+    // vp-lint: allow(g1): index-by-contract accessor — documented to require i < world.blocks.len(), mirroring slice indexing.
     pub fn hourly_by_idx(&self, i: usize, hour: u32) -> f64 {
         assert!(hour < 24, "hour {hour} out of range");
         let b = &self.world.blocks[i];

@@ -18,7 +18,6 @@ pub fn run(lab: &Lab) -> String {
     // `vp-monitor diff` replays (see DESIGN.md §10).
     if let Some(dir) = &lab.snapshot_dir {
         let world = &lab.tangled().world;
-        // vp-lint: allow(h2): an I/O failure must abort loudly, not silently drop snapshots.
         let n = crate::monitor::write_round_snapshots(dir, &rounds, world)
             .unwrap_or_else(|e| panic!("snapshot emission failed: {e}"));
         eprintln!("wrote {n} round snapshots to {}", dir.display());

@@ -94,6 +94,7 @@ impl Hitlist {
     }
 
     /// The `i`-th entry (in block order).
+    // vp-lint: allow(g1): index-by-contract accessor — documented to require i < len(), mirroring slice indexing.
     pub fn entry(&self, i: usize) -> HitlistEntry {
         self.entries[i]
     }

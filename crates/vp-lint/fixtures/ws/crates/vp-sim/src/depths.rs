@@ -1,0 +1,6 @@
+//! The deep end of the fixture g1 chain (see graphs.rs): a private
+//! helper whose slice indexing is the panic the public API reaches.
+
+fn deep_index(values: &[u64]) -> u64 {
+    values[0]
+}

@@ -1,0 +1,30 @@
+//! Seeded graph-rule violations: interprocedural chains the token rules
+//! cannot see (3 findings: 1×g1, 1×g2, 1×g3). This file is fixture
+//! input for the lint gate; it is never compiled.
+
+// g1: the public entry reaches a panic two private hops away, in
+// another file (depths.rs) — the witness path must cross both files.
+pub fn api_entry(values: &[u64]) -> u64 {
+    mid_hop(values)
+}
+
+fn mid_hop(values: &[u64]) -> u64 {
+    crate::depths::deep_index(values)
+}
+
+// g2: the wall-time read in the helper below is d2-allowed, but the
+// taint still propagates to this public wrapper — allow(d2) silences
+// the token rule at the read site, not the graph rule at the API.
+pub fn wrapped_now() -> std::time::SystemTime {
+    now_helper()
+}
+
+fn now_helper() -> std::time::SystemTime {
+    // vp-lint: allow(d2): fixture proving allow(d2) does not stop g2 taint.
+    std::time::SystemTime::now()
+}
+
+// vp-lint: allow(h2): fixture of a stale suppression — nothing on the next line can fire h2.
+pub fn tidy(x: u64) -> u64 {
+    x + 1
+}

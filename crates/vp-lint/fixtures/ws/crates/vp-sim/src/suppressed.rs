@@ -33,7 +33,7 @@ pub fn allowed_trailing(x: u64) -> u32 {
 }
 
 pub fn allowed_multi(v: Option<u32>) -> u32 {
-    // vp-lint: allow(d2, h1): fixture exercising a multi-rule allow.
+    // vp-lint: allow(d2, g2, h1): fixture exercising a multi-rule allow.
     v.unwrap_or_else(|| thread_rng() as u32)
 }
 
@@ -51,7 +51,7 @@ pub struct AllowedWallClock;
 
 impl Clock for AllowedWallClock {
     fn now_nanos(&self) -> u64 {
-        // vp-lint: allow(d2, d4): fixture exercising a justified wall-time clock in a library.
+        // vp-lint: allow(d2, d4, g2): fixture exercising a justified wall-time clock in a library.
         std::time::Instant::now().elapsed().as_nanos() as u64
     }
 }

@@ -18,6 +18,8 @@ use crate::rules::RuleId;
 /// A parsed suppression.
 #[derive(Debug, Clone)]
 pub struct Allow {
+    /// 1-based line the directive comment itself starts on.
+    pub line: usize,
     /// 1-based line the suppression applies to.
     pub applies_to: usize,
     pub rules: Vec<RuleId>,
@@ -64,6 +66,7 @@ pub fn parse(comments: &[Comment]) -> Directives {
         if let Some(args) = rest.strip_prefix("allow") {
             match parse_allow(args) {
                 Ok(rules) => out.allows.push(Allow {
+                    line: c.line,
                     applies_to: if c.trailing { c.line } else { c.line + 1 },
                     rules,
                 }),

@@ -186,7 +186,12 @@ pub fn mask(source: &str) -> MaskedFile {
                         i += 1;
                     }
                 } else {
-                    mask_cooked_string(&chars, &mut i, n, &mut |ch| blank!(ch));
+                    // The opening quote is already masked above; scan the
+                    // body only. Re-entering at the opening-quote masker
+                    // here would treat the *closing* quote of an empty
+                    // `b""`/`c""` as another opening quote and swallow
+                    // everything after it.
+                    mask_string_body(&chars, &mut i, n, '"', &mut |ch| blank!(ch));
                 }
                 prev_code = None;
                 continue;
@@ -259,23 +264,7 @@ fn mask_cooked_string(
         blank(chars[*i]);
         *i += 1;
     }
-    while *i < n {
-        let c = chars[*i];
-        if c == '\\' {
-            blank(c);
-            *i += 1;
-            if *i < n {
-                blank(chars[*i]);
-                *i += 1;
-            }
-            continue;
-        }
-        blank(c);
-        *i += 1;
-        if c == '"' {
-            break;
-        }
-    }
+    mask_string_body(chars, i, n, '"', blank);
 }
 
 /// Masks a char (or byte-char) literal starting at the opening quote.
@@ -290,6 +279,19 @@ fn mask_char_literal(
         blank(chars[*i]);
         *i += 1;
     }
+    mask_string_body(chars, i, n, '\'', blank);
+}
+
+/// Masks an escaped literal body up to (and including) the `close` quote.
+/// Assumes the opening quote has already been consumed, so an empty body
+/// terminates immediately on the very next char.
+fn mask_string_body(
+    chars: &[char],
+    i: &mut usize,
+    n: usize,
+    close: char,
+    blank: &mut dyn FnMut(char),
+) {
     while *i < n {
         let c = chars[*i];
         if c == '\\' {
@@ -303,7 +305,7 @@ fn mask_char_literal(
         }
         blank(c);
         *i += 1;
-        if c == '\'' {
+        if c == close {
             break;
         }
     }

@@ -3,11 +3,17 @@
 //! PR 1 made bit-identical determinism the scan engine's contract; this
 //! crate turns that contract from "tested on one path" into "machine-checked
 //! on every path". It is a dependency-free static analyzer (hand-rolled
-//! lexer — the vendor-only environment has no `syn`) that walks the
-//! workspace's `.rs` files and enforces the rule set documented in
-//! [`rules`]: hash-order nondeterminism (d1), ambient entropy (d2),
-//! untested merge algebra (d3), narrowing casts in hot crates (h1) and
-//! panicking unwraps in library code (h2).
+//! lexer — the vendor-only environment has no `syn`) with two layers:
+//!
+//! * **token rules** ([`rules`]): hash-order nondeterminism (d1), ambient
+//!   entropy (d2), untested merge algebra (d3), wall-time Clock impls
+//!   (d4), narrowing casts in hot crates (h1) and panicking unwraps in
+//!   library code (h2);
+//! * **graph rules** ([`index`] → [`graph`] → [`grules`]): an item index
+//!   and conservative call graph drive interprocedural panic-reachability
+//!   (g1) and nondeterminism-taint (g2) analyses over every policed
+//!   crate's public API, each finding carrying a witness call path; and
+//!   g3 flags every `allow(...)` that no longer suppresses anything.
 //!
 //! Ships three ways: the `cargo run -p vp-lint` CLI, the tier-1
 //! `tests/lint_gate.rs` integration test that fails the build on any
@@ -17,12 +23,15 @@
 //! directly above) the offending line. The justification is mandatory.
 
 pub mod directives;
+pub mod graph;
+pub mod grules;
+pub mod index;
 pub mod lexer;
 pub mod rules;
 pub mod workspace;
 
 pub use rules::{FileContext, Finding, RuleId};
-pub use workspace::{find_workspace_root, scan_files, scan_workspace};
+pub use workspace::{build_graph, find_workspace_root, scan_files, scan_workspace};
 
 /// Renders findings as `file:line:col: rule: message` lines.
 pub fn to_text(findings: &[Finding]) -> String {
@@ -54,13 +63,24 @@ pub fn to_json(findings: &[Finding]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{}}}",
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{}",
             json_string(&f.file),
             f.line,
             f.col,
             json_string(f.rule.name()),
             json_string(&f.message)
         ));
+        if !f.witness.is_empty() {
+            out.push_str(",\"witness\":[");
+            for (j, step) in f.witness.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_string(step));
+            }
+            out.push(']');
+        }
+        out.push('}');
     }
     out.push_str("]\n");
     out

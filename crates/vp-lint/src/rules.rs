@@ -27,6 +27,9 @@ pub enum RuleId {
     D4,
     H1,
     H2,
+    G1,
+    G2,
+    G3,
     Directive,
 }
 
@@ -39,6 +42,9 @@ impl RuleId {
             RuleId::D4 => "d4",
             RuleId::H1 => "h1",
             RuleId::H2 => "h2",
+            RuleId::G1 => "g1",
+            RuleId::G2 => "g2",
+            RuleId::G3 => "g3",
             RuleId::Directive => "directive",
         }
     }
@@ -51,6 +57,9 @@ impl RuleId {
             "d4" => Some(RuleId::D4),
             "h1" => Some(RuleId::H1),
             "h2" => Some(RuleId::H2),
+            "g1" => Some(RuleId::G1),
+            "g2" => Some(RuleId::G2),
+            "g3" => Some(RuleId::G3),
             "directive" => Some(RuleId::Directive),
             _ => None,
         }
@@ -68,6 +77,9 @@ pub struct Finding {
     pub col: usize,
     pub rule: RuleId,
     pub message: String,
+    /// For graph rules (g1/g2): the call chain from the public entry
+    /// point down to the sink/source token. Empty for token rules.
+    pub witness: Vec<String>,
 }
 
 /// Where a file sits in the workspace; decides which rules apply.
@@ -155,6 +167,9 @@ pub struct FileScan {
     pub merge_markers: Vec<String>,
     /// Names of `fn`s in test scope, lowercased with underscores removed.
     pub test_fn_keys: Vec<String>,
+    /// `(applies-to line, rule)` pairs for allow directives that actually
+    /// suppressed a token-rule finding here — feeds rule g3.
+    pub used_allows: Vec<(usize, RuleId)>,
 }
 
 /// Per-token scope annotations computed in one pass.
@@ -284,13 +299,19 @@ fn name_key(s: &str) -> String {
         .collect()
 }
 
-/// Scans one file. Cross-file conclusions (rule D3) are drawn later by
-/// [`crate::workspace::scan_files`] from the returned defs/markers/names.
+/// Scans one file from source text. Cross-file conclusions (rules D3 and
+/// g1–g3) are drawn later by [`crate::workspace::scan_files`].
 pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
     let masked = lexer::mask(source);
     let tokens = lexer::tokenize(&masked);
     let dirs = directives::parse(&masked.comments);
-    let ann = annotate(&tokens);
+    scan_tokens(ctx, &tokens, &dirs)
+}
+
+/// Token-level scan over an already-lexed file (the workspace driver
+/// lexes once and shares the tokens with the graph indexer).
+pub fn scan_tokens(ctx: &FileContext, tokens: &[Token], dirs: &Directives) -> FileScan {
+    let ann = annotate(tokens);
 
     let mut out = FileScan {
         merge_markers: dirs.merge_markers.clone(),
@@ -307,14 +328,17 @@ pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
     let mut wall_time_sites: Vec<(usize, usize)> = Vec::new();
     let mut implements_clock = false;
 
-    let push = |dirs: &Directives, findings: &mut Vec<Finding>, rule, line, col, message: String| {
-        if !dirs.allows_on(rule, line) {
-            findings.push(Finding {
+    let push = |dirs: &Directives, out: &mut FileScan, rule, line, col, message: String| {
+        if dirs.allows_on(rule, line) {
+            out.used_allows.push((line, rule));
+        } else {
+            out.findings.push(Finding {
                 file: ctx.rel_path.clone(),
                 line,
                 col,
                 rule,
                 message,
+                witness: Vec::new(),
             });
         }
     };
@@ -338,8 +362,8 @@ pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
         if let Some(id) = t.ident() {
             if HASH_TYPES.contains(&id) {
                 push(
-                    &dirs,
-                    &mut out.findings,
+                    dirs,
+                    &mut out,
                     RuleId::D1,
                     t.line,
                     t.col,
@@ -355,8 +379,8 @@ pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
         if !d2_exempt {
             if t.ident() == Some("thread_rng") {
                 push(
-                    &dirs,
-                    &mut out.findings,
+                    dirs,
+                    &mut out,
                     RuleId::D2,
                     t.line,
                     t.col,
@@ -371,8 +395,8 @@ pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
             };
             if path2("SystemTime", "now") || path2("Instant", "now") {
                 push(
-                    &dirs,
-                    &mut out.findings,
+                    dirs,
+                    &mut out,
                     RuleId::D2,
                     t.line,
                     t.col,
@@ -381,8 +405,8 @@ pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
             }
             if path2("std", "env") {
                 push(
-                    &dirs,
-                    &mut out.findings,
+                    dirs,
+                    &mut out,
                     RuleId::D2,
                     t.line,
                     t.col,
@@ -447,8 +471,8 @@ pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
             if let Some(ty) = tokens.get(i + 1).and_then(Token::ident) {
                 if NARROW_TYPES.contains(&ty) {
                     push(
-                        &dirs,
-                        &mut out.findings,
+                        dirs,
+                        &mut out,
                         RuleId::H1,
                         t.line,
                         t.col,
@@ -470,8 +494,8 @@ pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
                 if m == "unwrap" || m == "expect" {
                     let mt = &tokens[i + 1];
                     push(
-                        &dirs,
-                        &mut out.findings,
+                        dirs,
+                        &mut out,
                         RuleId::H2,
                         mt.line,
                         mt.col,
@@ -489,8 +513,8 @@ pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
     if implements_clock {
         for (line, col) in wall_time_sites {
             push(
-                &dirs,
-                &mut out.findings,
+                dirs,
+                &mut out,
                 RuleId::D4,
                 line,
                 col,
@@ -509,6 +533,7 @@ pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
             col: 1,
             rule: RuleId::Directive,
             message: why.clone(),
+            witness: Vec::new(),
         });
     }
 
@@ -520,16 +545,18 @@ pub fn scan_file(ctx: &FileContext, source: &str) -> FileScan {
 /// name mentions both the type and "merge". In marker-strict crates
 /// (`D3_MARKER_REQUIRED_CRATES`) only an exact `merge-tested(Type::merge)`
 /// marker counts.
+///
+/// Also returns the `(file, line)` of every *suppressed* definition that
+/// would have failed — those are the lines where an `allow(d3)` is doing
+/// real work, which rule g3 needs to know.
 pub fn resolve_merge_rule(
     defs: &[MergeDef],
     markers: &[String],
     test_fn_keys: &[String],
-) -> Vec<Finding> {
+) -> (Vec<Finding>, Vec<(String, usize)>) {
     let mut findings = Vec::new();
+    let mut used: Vec<(String, usize)> = Vec::new();
     for def in defs {
-        if def.suppressed {
-            continue;
-        }
         let exact = markers.iter().any(|m| m == &def.qualified);
         let ok = if def.marker_required {
             exact
@@ -541,7 +568,12 @@ pub fn resolve_merge_rule(
                     .any(|k| k.contains("merge") && k.contains(&def.type_key));
             marked || named
         };
-        if !ok {
+        if ok {
+            continue;
+        }
+        if def.suppressed {
+            used.push((def.file.clone(), def.line));
+        } else {
             let requirement = if def.marker_required {
                 "this crate is marker-strict: add a commutativity/associativity \
                  proptest carrying an exact"
@@ -558,8 +590,9 @@ pub fn resolve_merge_rule(
                      `vp-lint: merge-tested({})` marker beside it",
                     def.qualified, def.qualified
                 ),
+                witness: Vec::new(),
             });
         }
     }
-    findings
+    (findings, used)
 }

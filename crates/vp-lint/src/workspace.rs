@@ -1,10 +1,23 @@
 //! Workspace file discovery and the cross-file scan.
+//!
+//! This is the driver that ties the two analysis layers together. Every
+//! file is lexed exactly once; the token stream feeds both the token
+//! rules ([`crate::rules`]) and the graph engine
+//! ([`crate::index`] → [`crate::graph`] → [`crate::grules`]). After both
+//! layers run, rule g3 cross-checks every `allow(...)` directive against
+//! the set of suppressions that actually fired.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::rules::{self, FileContext, Finding};
+use crate::directives::{self, Allow};
+use crate::graph::{CrateDeps, Graph};
+use crate::grules::{self, Visibility};
+use crate::index::{self, FileIndex};
+use crate::lexer;
+use crate::rules::{self, FileContext, Finding, RuleId};
 
 /// Directory names never scanned: third-party stand-ins (`vendor` mirrors
 /// upstream crates, not our determinism surface), build products, data, and
@@ -44,26 +57,205 @@ pub fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// Scans a set of files as one workspace rooted at `root` (rule D3 is
-/// resolved across all of them). Findings come back sorted.
+/// The crate dependency map declared by the workspace `Cargo.toml`s:
+/// crate name → its direct workspace dependencies. The root umbrella
+/// package is the empty-string crate. Crates without a manifest under
+/// `root` (fixture trees) simply stay absent, which the graph layer
+/// treats as "sees everything" — conservative, never under-approximate.
+pub fn crate_deps(root: &Path) -> CrateDeps {
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    if let Ok(rd) = fs::read_dir(root.join("crates")) {
+        for entry in rd.flatten() {
+            let p = entry.path();
+            if p.join("Cargo.toml").is_file() {
+                names.insert(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+    }
+    let mut deps = CrateDeps::new();
+    for name in &names {
+        if let Ok(text) = fs::read_to_string(root.join("crates").join(name).join("Cargo.toml")) {
+            deps.insert(name.clone(), dep_names(&text, &names));
+        }
+    }
+    if let Ok(text) = fs::read_to_string(root.join("Cargo.toml")) {
+        if text.contains("[package]") {
+            deps.insert(String::new(), dep_names(&text, &names));
+        }
+    }
+    deps
+}
+
+/// Extracts the `[dependencies]` keys of one manifest, filtered to
+/// workspace crate names (vendored and external deps are invisible to the
+/// call graph anyway). Line-oriented on purpose: the manifests this
+/// workspace writes are flat `name = { path = ".." }` tables.
+fn dep_names(manifest: &str, workspace: &BTreeSet<String>) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let l = line.trim();
+        if l.starts_with('[') {
+            in_deps = l == "[dependencies]";
+            if let Some(rest) = l.strip_prefix("[dependencies.") {
+                let key = rest.trim_end_matches(']').trim().trim_matches('"');
+                if workspace.contains(key) && !out.contains(&key.to_string()) {
+                    out.push(key.to_string());
+                }
+            }
+            continue;
+        }
+        if !in_deps || l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let key = l
+            .split(['=', '.'])
+            .next()
+            .map(str::trim)
+            .unwrap_or("")
+            .trim_matches('"');
+        if workspace.contains(key) && !out.contains(&key.to_string()) {
+            out.push(key.to_string());
+        }
+    }
+    out
+}
+
+/// Builds the visibility tables g1/g2 need from the per-file indexes.
+pub fn visibility_of(indexes: &[FileIndex]) -> Visibility {
+    let mut mod_pub: BTreeMap<(String, String), bool> = BTreeMap::new();
+    let mut type_pub: BTreeMap<(String, String), bool> = BTreeMap::new();
+    for fx in indexes {
+        for m in &fx.mods {
+            let parent = m.parent.join("::");
+            let full = if parent.is_empty() {
+                m.name.clone()
+            } else {
+                format!("{parent}::{}", m.name)
+            };
+            let e = mod_pub.entry((fx.crate_name.clone(), full)).or_insert(false);
+            *e = *e || m.is_pub;
+        }
+        for t in &fx.types {
+            let e = type_pub
+                .entry((fx.crate_name.clone(), t.name.clone()))
+                .or_insert(false);
+            *e = *e || t.is_pub;
+        }
+    }
+    Visibility { mod_pub, type_pub }
+}
+
+/// Indexes one set of files (library scope only — tests, benches,
+/// examples and binaries are not part of any crate's API surface).
+fn index_files(root: &Path, files: &[PathBuf]) -> io::Result<Vec<FileIndex>> {
+    let mut indexes = Vec::new();
+    for path in files {
+        let bytes = fs::read(path)?;
+        let source = String::from_utf8_lossy(&bytes);
+        let ctx = FileContext::from_rel_path(&rel_path(root, path));
+        if ctx.is_test || ctx.is_bin {
+            continue;
+        }
+        let masked = lexer::mask(&source);
+        let tokens = lexer::tokenize(&masked);
+        let dirs = directives::parse(&masked.comments);
+        indexes.push(index::index_file(&ctx, &tokens, &dirs));
+    }
+    Ok(indexes)
+}
+
+/// Builds the workspace call graph (the `vp-lint graph` subcommand).
+pub fn build_graph(root: &Path) -> io::Result<Graph> {
+    let files = collect_rs_files(root)?;
+    let indexes = index_files(root, &files)?;
+    Ok(Graph::build(&indexes, &crate_deps(root)))
+}
+
+/// Scans a set of files as one workspace rooted at `root`: token rules
+/// per file, d3 across files, g1/g2 over the call graph, then g3 over
+/// the allow directives. Findings come back sorted.
 pub fn scan_files(root: &Path, files: &[PathBuf]) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
     let mut merge_defs = Vec::new();
     let mut markers = Vec::new();
     let mut test_fn_keys = Vec::new();
+    let mut indexes: Vec<FileIndex> = Vec::new();
+    // Every allow directive in the scanned set, and the (file, line, rule)
+    // suppressions that actually fired — rule g3 is their difference.
+    let mut allow_sites: Vec<(String, Allow)> = Vec::new();
+    let mut used: BTreeSet<(String, usize, RuleId)> = BTreeSet::new();
 
     for path in files {
         let bytes = fs::read(path)?;
         let source = String::from_utf8_lossy(&bytes);
         let ctx = FileContext::from_rel_path(&rel_path(root, path));
-        let mut scan = rules::scan_file(&ctx, &source);
+        let masked = lexer::mask(&source);
+        let tokens = lexer::tokenize(&masked);
+        let dirs = directives::parse(&masked.comments);
+
+        let mut scan = rules::scan_tokens(&ctx, &tokens, &dirs);
+        for (line, rule) in scan.used_allows.drain(..) {
+            used.insert((ctx.rel_path.clone(), line, rule));
+        }
         findings.append(&mut scan.findings);
         merge_defs.append(&mut scan.merge_defs);
         markers.append(&mut scan.merge_markers);
         test_fn_keys.append(&mut scan.test_fn_keys);
+
+        if !ctx.is_test && !ctx.is_bin {
+            let mut fx = index::index_file(&ctx, &tokens, &dirs);
+            for (line, rule) in fx.used_allows.drain(..) {
+                used.insert((ctx.rel_path.clone(), line, rule));
+            }
+            indexes.push(fx);
+        }
+        for a in &dirs.allows {
+            allow_sites.push((ctx.rel_path.clone(), a.clone()));
+        }
     }
 
-    findings.extend(rules::resolve_merge_rule(&merge_defs, &markers, &test_fn_keys));
+    let (d3_findings, d3_used) = rules::resolve_merge_rule(&merge_defs, &markers, &test_fn_keys);
+    findings.extend(d3_findings);
+    for (file, line) in d3_used {
+        used.insert((file, line, RuleId::D3));
+    }
+
+    let graph = Graph::build(&indexes, &crate_deps(root));
+    let vis = visibility_of(&indexes);
+    let (g_findings, g_used) = grules::evaluate(&graph, &vis);
+    findings.extend(g_findings);
+    for (file, line, rule) in g_used {
+        used.insert((file, line, rule));
+    }
+
+    // g3 — a directive is live iff at least one of its rules suppressed
+    // something on its target line. Stale allows are unsuppressible
+    // findings (an allow(g3) would be a suppression that suppresses its
+    // own removal notice).
+    for (file, a) in &allow_sites {
+        let live = a
+            .rules
+            .iter()
+            .any(|r| used.contains(&(file.clone(), a.applies_to, *r)));
+        if !live {
+            let names: Vec<&str> = a.rules.iter().map(|r| r.name()).collect();
+            findings.push(Finding {
+                file: file.clone(),
+                line: a.line,
+                col: 1,
+                rule: RuleId::G3,
+                message: format!(
+                    "stale suppression: allow({}) no longer suppresses any finding on \
+                     line {} — remove it or narrow it to the rules still firing",
+                    names.join(", "),
+                    a.applies_to
+                ),
+                witness: Vec::new(),
+            });
+        }
+    }
+
     findings.sort_by(|a, b| {
         (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
     });

@@ -80,6 +80,64 @@ fn mask_handles_nested_block_comments() {
 }
 
 #[test]
+fn mask_empty_prefixed_strings_do_not_swallow_following_code() {
+    // Regression: the closing quote of an empty `b""`/`c""` used to be
+    // re-read as an opening quote, masking everything after the literal
+    // (so an `unwrap()` following `b""` escaped rule h2 entirely).
+    for src in [
+        "let a = b\"\"; x.unwrap(); tail",
+        "let a = c\"\"; x.unwrap(); tail",
+    ] {
+        let m = lexer::mask(src);
+        assert!(m.code.contains("unwrap"), "swallowed code after empty literal: {:?}", m.code);
+        assert!(m.code.contains("tail"), "{:?}", m.code);
+        assert_eq!(m.code.chars().count(), src.chars().count());
+    }
+    assert_eq!(fired("fn f(v: Option<u32>) -> u32 { let _ = b\"\"; v.unwrap() }\n"), [RuleId::H2]);
+}
+
+#[test]
+fn mask_raw_string_hash_boundaries() {
+    // The closing `"#...#` sequence must consume exactly hashes+1 chars:
+    // a partial-hash candidate inside the body is content, an extra hash
+    // after the real close is code, and an empty raw body closes at once.
+    let m = lexer::mask(r####"let s = r##"Q"# Z"##; tail"####);
+    assert!(!m.code.contains('Q') && !m.code.contains('Z'), "{:?}", m.code);
+    assert!(m.code.contains("tail"));
+
+    let m = lexer::mask(r###"let s = r#"a"##; tail"###);
+    assert!(m.code.contains("#; tail"), "extra hash after close must stay code: {:?}", m.code);
+
+    let m = lexer::mask(r###"let s = r#""#; tail"###);
+    assert!(m.code.contains("tail"), "{:?}", m.code);
+
+    // A raw string with no hashes containing a hash char.
+    let m = lexer::mask("let s = r\"#\"; tail");
+    assert!(!m.code.contains('#'), "{:?}", m.code);
+    assert!(m.code.contains("tail"));
+}
+
+#[test]
+fn mask_nested_block_comment_boundaries() {
+    // `/*/` opens without closing; adjacent `*//*` closes then reopens;
+    // the boundary byte after the outermost `*/` is code again.
+    let m = lexer::mask("/*/ x */ tail");
+    assert!(!m.code.contains('x'), "{:?}", m.code);
+    assert!(m.code.contains("tail"));
+
+    let m = lexer::mask("/* Q *//* Z */ tail");
+    assert!(!m.code.contains('Q') && !m.code.contains('Z'), "{:?}", m.code);
+    assert!(m.code.contains("tail"));
+    assert_eq!(m.comments.len(), 2);
+
+    let m = lexer::mask("/* a */* tail");
+    assert!(m.code.contains("* tail"), "char after close is code: {:?}", m.code);
+
+    let m = lexer::mask("/* /**/ */ tail");
+    assert!(m.code.contains("tail"), "{:?}", m.code);
+}
+
+#[test]
 fn mask_survives_unterminated_literals() {
     for src in ["let s = \"never closed", "let c = '", "let r = r#\"open", "/* open"] {
         let m = lexer::mask(src);
@@ -163,12 +221,13 @@ fn d3_records_merge_defs_and_markers() {
     // Unresolved defs become findings; marked or name-matched ones do not.
     let defs = scan_defs(src);
     assert_eq!(
-        rules::resolve_merge_rule(&defs, &[], &[]).len(),
+        rules::resolve_merge_rule(&defs, &[], &[]).0.len(),
         1,
         "unmarked merge must be a finding"
     );
-    assert!(rules::resolve_merge_rule(&defs, &["Stats::merge".into()], &[]).is_empty());
+    assert!(rules::resolve_merge_rule(&defs, &["Stats::merge".into()], &[]).0.is_empty());
     assert!(rules::resolve_merge_rule(&defs, &[], &["stats_merge_is_commutative".into()])
+        .0
         .is_empty());
 }
 
@@ -187,23 +246,23 @@ fn d3_marker_strict_crates_require_an_exact_marker() {
 
     // A name-matched test satisfies ordinary crates but not strict ones.
     let named_test = ["driftsummary_merge_is_commutative".to_string()];
-    assert_eq!(rules::resolve_merge_rule(&strict, &[], &named_test).len(), 1);
+    assert_eq!(rules::resolve_merge_rule(&strict, &[], &named_test).0.len(), 1);
     // The bare `merge` wildcard marker is not enough either.
     assert_eq!(
-        rules::resolve_merge_rule(&strict, &["merge".into()], &[]).len(),
+        rules::resolve_merge_rule(&strict, &["merge".into()], &[]).0.len(),
         1
     );
     // Only the exact qualified marker discharges the obligation.
-    assert!(rules::resolve_merge_rule(&strict, &["DriftSummary::merge".into()], &[]).is_empty());
+    assert!(rules::resolve_merge_rule(&strict, &["DriftSummary::merge".into()], &[]).0.is_empty());
     // The strict finding says so explicitly.
-    let f = &rules::resolve_merge_rule(&strict, &[], &[])[0];
+    let f = &rules::resolve_merge_rule(&strict, &[], &[]).0[0];
     assert!(f.message.contains("marker-strict"), "{}", f.message);
 
     // The same source in a non-strict crate keeps the lenient paths.
     let lenient = scan_defs(src);
     assert!(!lenient[0].marker_required);
-    assert!(rules::resolve_merge_rule(&lenient, &[], &named_test).is_empty());
-    assert!(rules::resolve_merge_rule(&lenient, &["merge".into()], &[]).is_empty());
+    assert!(rules::resolve_merge_rule(&lenient, &[], &named_test).0.is_empty());
+    assert!(rules::resolve_merge_rule(&lenient, &["merge".into()], &[]).0.is_empty());
 }
 
 #[test]
@@ -360,5 +419,185 @@ proptest! {
         let _ = lexer::tokenize(&masked);
         let ctx = FileContext::from_rel_path("crates/verfploeter/src/fuzz.rs");
         let _ = rules::scan_file(&ctx, &src);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Graph layer: indexer, call graph, g-rules.
+// ---------------------------------------------------------------------
+
+use vp_lint::graph::{CrateDeps, Graph};
+use vp_lint::{directives, grules, index, workspace};
+
+/// Indexes one source string as if it lived at `rel`.
+fn index_src(rel: &str, src: &str) -> index::FileIndex {
+    let ctx = FileContext::from_rel_path(rel);
+    let masked = lexer::mask(src);
+    let tokens = lexer::tokenize(&masked);
+    let dirs = directives::parse(&masked.comments);
+    index::index_file(&ctx, &tokens, &dirs)
+}
+
+/// Runs the graph rules over a set of (rel_path, source) files with no
+/// crate dependency information (every crate sees every crate).
+fn g_eval(files: &[(&str, &str)]) -> Vec<vp_lint::Finding> {
+    g_eval_deps(files, &CrateDeps::new())
+}
+
+fn g_eval_deps(files: &[(&str, &str)], deps: &CrateDeps) -> Vec<vp_lint::Finding> {
+    let indexes: Vec<_> = files.iter().map(|(r, s)| index_src(r, s)).collect();
+    let graph = Graph::build(&indexes, deps);
+    let vis = workspace::visibility_of(&indexes);
+    grules::evaluate(&graph, &vis).0
+}
+
+#[test]
+fn g1_reports_cross_file_chain_with_witness() {
+    let findings = g_eval(&[
+        (
+            "crates/vp-sim/src/a.rs",
+            "pub fn api(v: &[u64]) -> u64 { helper(v) }\n",
+        ),
+        (
+            "crates/vp-sim/src/b.rs",
+            "fn helper(v: &[u64]) -> u64 { v[0] }\n",
+        ),
+    ]);
+    assert_eq!(findings.len(), 1, "{}", vp_lint::to_text(&findings));
+    let f = &findings[0];
+    assert_eq!(f.rule, RuleId::G1);
+    assert_eq!(f.file, "crates/vp-sim/src/a.rs");
+    assert_eq!(f.witness.len(), 3, "witness: {:?}", f.witness);
+    assert!(f.witness[1].contains("helper"));
+    assert!(f.witness[2].contains("slice-indexing"));
+}
+
+#[test]
+fn g1_audited_fn_stops_propagation() {
+    let findings = g_eval(&[
+        (
+            "crates/vp-sim/src/a.rs",
+            "pub fn api(v: &[u64]) -> u64 { helper(v) }\n",
+        ),
+        (
+            "crates/vp-sim/src/b.rs",
+            "// vp-lint: allow(g1): test audit — v is never empty here.\n\
+             fn helper(v: &[u64]) -> u64 { v[0] }\n",
+        ),
+    ]);
+    assert!(findings.is_empty(), "{}", vp_lint::to_text(&findings));
+}
+
+#[test]
+fn g1_private_fns_are_not_entries() {
+    let findings = g_eval(&[(
+        "crates/vp-sim/src/a.rs",
+        "fn internal(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    )]);
+    assert!(findings.is_empty(), "{}", vp_lint::to_text(&findings));
+}
+
+#[test]
+fn g1_ignores_unpoliced_crates() {
+    // vp-experiments is not a policed crate: its public API may panic.
+    let findings = g_eval(&[(
+        "crates/vp-experiments/src/a.rs",
+        "pub fn api(v: &[u64]) -> u64 { v[0] }\n",
+    )]);
+    assert!(findings.is_empty(), "{}", vp_lint::to_text(&findings));
+}
+
+#[test]
+fn g2_propagates_taint_through_private_hops() {
+    let findings = g_eval(&[(
+        "crates/vp-sim/src/a.rs",
+        "pub fn api() -> u64 { hop() }\n\
+         fn hop() -> u64 { leaf() }\n\
+         fn leaf() -> u64 { thread_rng() }\n",
+    )]);
+    let g2: Vec<_> = findings.iter().filter(|f| f.rule == RuleId::G2).collect();
+    assert_eq!(g2.len(), 1, "{}", vp_lint::to_text(&findings));
+    assert!(g2[0].message.contains("api"));
+    assert!(g2[0].witness.last().unwrap().contains("thread_rng"));
+}
+
+#[test]
+fn crate_visibility_gates_cross_crate_edges() {
+    let files = [
+        (
+            "crates/vp-sim/src/a.rs",
+            "pub fn api(v: &[u64]) -> u64 { danger(v) }\n",
+        ),
+        (
+            "crates/vp-net/src/b.rs",
+            "pub fn danger(v: &[u64]) -> u64 { v[0] }\n",
+        ),
+    ];
+    // vp-sim declares no dependency on vp-net: the call cannot resolve
+    // into it, so only vp-net's own public API is flagged.
+    let mut deps = CrateDeps::new();
+    deps.insert("vp-sim".into(), vec![]);
+    deps.insert("vp-net".into(), vec![]);
+    let gated = g_eval_deps(&files, &deps);
+    assert_eq!(gated.len(), 1, "{}", vp_lint::to_text(&gated));
+    assert_eq!(gated[0].file, "crates/vp-net/src/b.rs");
+    // With the dependency declared, the edge exists and both APIs reach
+    // the panic.
+    deps.insert("vp-sim".into(), vec!["vp-net".into()]);
+    let linked = g_eval_deps(&files, &deps);
+    assert_eq!(linked.len(), 2, "{}", vp_lint::to_text(&linked));
+}
+
+#[test]
+fn graph_dumps_render() {
+    let indexes = vec![index_src(
+        "crates/vp-sim/src/a.rs",
+        "pub fn api() -> u64 { hop() }\nfn hop() -> u64 { 7 }\n",
+    )];
+    let g = Graph::build(&indexes, &CrateDeps::new());
+    let dot = g.to_dot();
+    assert!(dot.starts_with("digraph"), "{dot}");
+    assert!(dot.contains("api"));
+    assert!(dot.contains("->"));
+    assert!(g.to_summary().contains("api"));
+}
+
+#[test]
+fn fixture_workspace_scan_is_byte_deterministic() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/ws");
+    let a = vp_lint::scan_workspace(&root).expect("scan");
+    let b = vp_lint::scan_workspace(&root).expect("scan");
+    assert_eq!(vp_lint::to_json(&a), vp_lint::to_json(&b));
+    assert_eq!(vp_lint::to_text(&a), vp_lint::to_text(&b));
+}
+
+/// Fragments that stress the indexer's item recognition when glued
+/// together in arbitrary order.
+const G_FRAGMENTS: [&str; 20] = [
+    "pub fn ", "fn ", "f", "(", ")", "{", "}", "::", "use ", "mod ",
+    ";", "panic!(", "[0]", ".unwrap()", "SystemTime::now()", ",",
+    "impl T {", "self.", "\n", "v",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The graph layer is total and deterministic on arbitrary
+    /// item-shaped soup: indexing, graph construction and rule
+    /// evaluation never panic, and two runs agree byte for byte.
+    #[test]
+    fn graph_layer_is_total_and_deterministic(
+        picks in collection::vec(0usize..G_FRAGMENTS.len(), 0..60),
+    ) {
+        let src: String = picks.iter().map(|&i| G_FRAGMENTS[i]).collect();
+        let run = || {
+            let fx = index_src("crates/vp-sim/src/soup.rs", &src);
+            let indexes = vec![fx];
+            let g = Graph::build(&indexes, &CrateDeps::new());
+            let vis = workspace::visibility_of(&indexes);
+            let (findings, used) = grules::evaluate(&g, &vis);
+            (vp_lint::to_json(&findings), format!("{used:?}"), g.to_dot())
+        };
+        prop_assert_eq!(run(), run());
     }
 }

@@ -122,7 +122,7 @@ pub fn diff_sequence(rounds: &[CatchmentMap], origins: Option<&Origins>) -> Vec<
     rounds
         .windows(2)
         .enumerate()
-        .map(|(i, w)| diff_rounds(&w[0], &w[1], i as u32 + 1, origins))
+        .map(|(i, w)| diff_rounds(&w[0], &w[1], i as u32 + 1, origins)) // vp-lint: allow(g1): windows(2) yields exactly two elements.
         .collect()
 }
 

@@ -69,6 +69,7 @@ impl<T> PrefixTrie<T> {
 
     /// Inserts `value` under `prefix`, returning the previous value if the
     /// prefix was already present.
+    // vp-lint: allow(g1): arena indexing — child indices are minted by push and nodes never shrink, so every stored index is in bounds.
     pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
         let mut node = 0usize;
         for depth in 0..prefix.len() {
@@ -91,6 +92,7 @@ impl<T> PrefixTrie<T> {
     }
 
     /// Exact-match lookup of `prefix`.
+    // vp-lint: allow(g1): arena indexing — child indices are minted by push and nodes never shrink, so every stored index is in bounds.
     pub fn get(&self, prefix: Prefix) -> Option<&T> {
         let mut node = 0usize;
         for depth in 0..prefix.len() {
@@ -106,6 +108,7 @@ impl<T> PrefixTrie<T> {
 
     /// Longest-prefix-match lookup: the most specific stored prefix
     /// containing `ip`, with its value.
+    // vp-lint: allow(g1): arena indexing — child indices are minted by push and nodes never shrink, so every stored index is in bounds.
     pub fn longest_match(&self, ip: Ipv4Addr) -> Option<(Prefix, &T)> {
         let mut node = 0usize;
         let mut best: Option<(u8, &T)> = self.nodes[0].value.as_ref().map(|v| (0, v));
@@ -128,6 +131,7 @@ impl<T> PrefixTrie<T> {
     }
 
     /// Iterates all stored `(prefix, value)` pairs in trie (address) order.
+    // vp-lint: allow(g1): arena indexing — child indices are minted by push and nodes never shrink, so every stored index is in bounds.
     pub fn iter(&self) -> impl Iterator<Item = (Prefix, &T)> {
         // Explicit DFS stack: (node index, addr-so-far, depth).
         let mut stack = vec![(0u32, 0u32, 0u8)];

@@ -87,7 +87,7 @@ impl Histogram {
 
     pub fn observe(&mut self, value: u64) {
         let idx = self.bounds.partition_point(|&b| b < value);
-        self.buckets[idx] += 1;
+        self.buckets[idx] += 1; // vp-lint: allow(g1): partition_point returns at most bounds.len() and buckets is sized bounds.len() + 1.
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
@@ -260,6 +260,7 @@ impl Registry {
         self.metrics.iter()
     }
 
+    // vp-lint: allow(g1): a name registered as two metric kinds is a programmer error at a static call site; kind-mismatch panics are the registry's documented contract.
     pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], n: u64) {
         let key = MetricKey::new(name, labels);
         match self
@@ -272,6 +273,7 @@ impl Registry {
         }
     }
 
+    // vp-lint: allow(g1): a name registered as two metric kinds is a programmer error at a static call site; kind-mismatch panics are the registry's documented contract.
     pub fn gauge_add(&mut self, name: &str, labels: &[(&str, &str)], delta: i64) {
         let key = MetricKey::new(name, labels);
         match self.metrics.entry(key).or_insert(Metric::Gauge(Gauge(0))) {
@@ -282,6 +284,7 @@ impl Registry {
 
     /// Observes `value` into the named histogram, creating it with
     /// `bounds` on first use. Later calls must pass the same bounds.
+    // vp-lint: allow(g1): a name registered as two metric kinds is a programmer error at a static call site; kind-mismatch panics are the registry's documented contract.
     pub fn histogram_observe(
         &mut self,
         name: &str,
@@ -337,6 +340,7 @@ impl Registry {
     /// and commutative, with the empty registry as identity — the same
     /// contract as `SimStats::merge`, so per-shard registries fold in any
     /// grouping to the same result.
+    // vp-lint: allow(g1): kind-mismatch panics are the registry's documented contract, same as the typed accessors.
     pub fn merge(&mut self, other: &Registry) {
         for (key, metric) in &other.metrics {
             match self.metrics.get_mut(key) {

@@ -350,7 +350,7 @@ impl DnsRecord {
                 let rdlen: usize = strings.iter().map(|s| 1 + s.len().min(255)).sum();
                 buf.put_u16(rdlen as u16);
                 for s in strings {
-                    let b = &s.as_bytes()[..s.len().min(255)];
+                    let b = &s.as_bytes()[..s.len().min(255)]; // vp-lint: allow(g1): the slice end is min'ed with s.len(), always in bounds.
                     buf.put_u8(b.len() as u8);
                     buf.extend_from_slice(b);
                 }
@@ -393,10 +393,10 @@ impl DnsRecord {
         let fixed = data
             .get(cursor..cursor + 10)
             .ok_or(PacketError::BadDns("record header runs past buffer"))?;
-        let rtype = u16::from_be_bytes([fixed[0], fixed[1]]);
-        let class = u16::from_be_bytes([fixed[2], fixed[3]]);
-        let ttl = u32::from_be_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]);
-        let rdlen = u16::from_be_bytes([fixed[8], fixed[9]]) as usize;
+        let rtype = u16::from_be_bytes([fixed[0], fixed[1]]); // vp-lint: allow(g1): fixed is a get-checked 10-byte slice.
+        let class = u16::from_be_bytes([fixed[2], fixed[3]]); // vp-lint: allow(g1): fixed is a get-checked 10-byte slice.
+        let ttl = u32::from_be_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]); // vp-lint: allow(g1): fixed is a get-checked 10-byte slice.
+        let rdlen = u16::from_be_bytes([fixed[8], fixed[9]]) as usize; // vp-lint: allow(g1): fixed is a get-checked 10-byte slice.
         cursor += 10;
         let rdata = data
             .get(cursor..cursor + rdlen)
@@ -410,14 +410,14 @@ impl DnsRecord {
                 DnsRecord::A {
                     name,
                     ttl,
-                    addr: Ipv4Addr(u32::from_be_bytes([rdata[0], rdata[1], rdata[2], rdata[3]])),
+                    addr: Ipv4Addr(u32::from_be_bytes([rdata[0], rdata[1], rdata[2], rdata[3]])), // vp-lint: allow(g1): rdata is a get-checked slice and rdlen == 4 was just verified.
                 }
             }
             DnsType::Txt => {
                 let mut strings = Vec::new();
                 let mut p = 0usize;
                 while p < rdlen {
-                    let l = rdata[p] as usize;
+                    let l = rdata[p] as usize; // vp-lint: allow(g1): the loop guard keeps p below rdlen, the length of rdata.
                     let s = rdata
                         .get(p + 1..p + 1 + l)
                         .ok_or(PacketError::BadDns("TXT string runs past rdata"))?;
@@ -438,8 +438,8 @@ impl DnsRecord {
                     let hdr = rdata
                         .get(p..p + 4)
                         .ok_or(PacketError::BadDns("OPT option header truncated"))?;
-                    let code = u16::from_be_bytes([hdr[0], hdr[1]]);
-                    let olen = u16::from_be_bytes([hdr[2], hdr[3]]) as usize;
+                    let code = u16::from_be_bytes([hdr[0], hdr[1]]); // vp-lint: allow(g1): hdr is a get-checked 4-byte slice.
+                    let olen = u16::from_be_bytes([hdr[2], hdr[3]]) as usize; // vp-lint: allow(g1): hdr is a get-checked 4-byte slice.
                     let odata = rdata
                         .get(p + 4..p + 4 + olen)
                         .ok_or(PacketError::BadDns("OPT option data truncated"))?;
@@ -575,12 +575,20 @@ impl DnsMessage {
                 got: data.len(),
             });
         }
-        let id = u16::from_be_bytes([data[0], data[1]]);
-        let flags = DnsFlags::parse(u16::from_be_bytes([data[2], data[3]]));
-        let qd = u16::from_be_bytes([data[4], data[5]]) as usize;
-        let an = u16::from_be_bytes([data[6], data[7]]) as usize;
-        let ns = u16::from_be_bytes([data[8], data[9]]) as usize;
-        let ar = u16::from_be_bytes([data[10], data[11]]) as usize;
+        // Total header reads: the length check above guarantees 12 bytes,
+        // and `get` keeps the reads panic-free even if it did not.
+        let be16 = |i: usize| -> u16 {
+            match (data.get(2 * i), data.get(2 * i + 1)) {
+                (Some(&hi), Some(&lo)) => u16::from_be_bytes([hi, lo]),
+                _ => 0,
+            }
+        };
+        let id = be16(0);
+        let flags = DnsFlags::parse(be16(1));
+        let qd = be16(2) as usize;
+        let an = be16(3) as usize;
+        let ns = be16(4) as usize;
+        let ar = be16(5) as usize;
         let mut cursor = 12usize;
         let mut questions = Vec::with_capacity(qd);
         for _ in 0..qd {
@@ -590,8 +598,8 @@ impl DnsMessage {
                 .ok_or(PacketError::BadDns("question runs past buffer"))?;
             questions.push(DnsQuestion {
                 name,
-                qtype: DnsType::from_number(u16::from_be_bytes([fixed[0], fixed[1]])),
-                qclass: DnsClass::from_number(u16::from_be_bytes([fixed[2], fixed[3]])),
+                qtype: DnsType::from_number(u16::from_be_bytes([fixed[0], fixed[1]])), // vp-lint: allow(g1): `fixed` is a get-checked 4-byte slice.
+                qclass: DnsClass::from_number(u16::from_be_bytes([fixed[2], fixed[3]])), // vp-lint: allow(g1): `fixed` is a get-checked 4-byte slice.
             });
             cursor = next + 4;
         }

@@ -41,11 +41,12 @@ impl UdpDatagram {
         if ck == 0 {
             ck = 0xffff; // RFC 768: transmitted zero means "no checksum"
         }
-        buf[6..8].copy_from_slice(&ck.to_be_bytes());
+        buf[6..8].copy_from_slice(&ck.to_be_bytes()); // vp-lint: allow(g1): buf begins with the 8 fixed header bytes written just above.
         buf.freeze()
     }
 
     /// Parses and validates length and (unless zero) checksum.
+    // vp-lint: allow(g1): every index is inside the HEADER_LEN prefix or the validated len range; chunk reads come from chunks_exact(2).
     pub fn parse(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<UdpDatagram, PacketError> {
         if data.len() < HEADER_LEN {
             return Err(PacketError::Truncated {

@@ -67,6 +67,7 @@ pub struct AsGraph {
 
 impl AsGraph {
     /// The node for `asn`. Panics on out-of-range ASN (ASNs are dense).
+    // vp-lint: allow(g1): documented contract — ASNs are dense indices minted with the graph; out-of-range must fail loudly.
     pub fn node(&self, asn: Asn) -> &AsNode {
         &self.ases[asn.index()]
     }

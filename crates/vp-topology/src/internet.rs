@@ -63,7 +63,7 @@ impl Internet {
     pub fn block(&self, block: Block24) -> Option<&BlockInfo> {
         self.block_index
             .get(&block)
-            .map(|&i| &self.blocks[i as usize])
+            .map(|&i| &self.blocks[i as usize]) // vp-lint: allow(g1): block_index values are positions in blocks, recorded at construction.
     }
 
     /// Index of a populated block in [`Internet::blocks`].
@@ -78,7 +78,7 @@ impl Internet {
 
     /// Number of prefixes announced by `asn`.
     pub fn announced_prefixes(&self, asn: Asn) -> u32 {
-        self.prefixes_per_as[asn.index()]
+        self.prefixes_per_as[asn.index()] // vp-lint: allow(g1): prefixes_per_as is sized to the AS count of the world that minted asn.
     }
 
     /// Iterator over blocks whose representative address answers pings.

@@ -14,6 +14,12 @@ cargo build --release
 cargo test -q
 cargo run -q -p vp-lint -- --workspace
 
+# The graph subcommand must render (smoke test: a dot header and at
+# least one edge), and a full scan must stay inside the tier-1 wall-time
+# budget so the lint_gate test never becomes the slow step.
+cargo run -q --release -p vp-lint -- graph --dot | head -n 20 | grep -q "^digraph"
+cargo run -q --release -p vp-lint -- bench --reps 3 --budget-ms 2000
+
 obs_dir="target/obs-check"
 rm -rf "$obs_dir"
 cargo run -q --release -p vp-experiments --bin fig2_broot_maps -- \
