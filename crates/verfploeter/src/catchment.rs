@@ -1,8 +1,18 @@
 //! The catchment map: block → anycast site.
+//!
+//! Storage is **columnar**: two parallel, block-sorted columns
+//! (`Vec<Block24>`, `Vec<SiteId>`) instead of a `BTreeMap`. At a million
+//! mapped blocks that is 5 bytes of payload per entry in two contiguous
+//! allocations — lookups are a binary search over one hot `u32` column and
+//! merges are linear column zips, where the tree spent ~50+ bytes per entry
+//! across pointer-chased nodes. The original tree engine survives as
+//! [`reference::BTreeCatchment`]; the `columnar_equivalence` suite proves
+//! the two agree byte-for-byte on every operation, so the columnar core
+//! inherits the tree's contract (including serialized bytes) verbatim.
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use vp_bgp::SiteId;
 use vp_hitlist::Hitlist;
 use vp_net::Block24;
@@ -14,55 +24,81 @@ use crate::cleaning::CleanReply;
 ///
 /// Entries are stored in block order, so iteration — and the serialized
 /// [`CatchmentMap::to_json`] dataset — is canonical: two equal maps always
-/// produce byte-identical JSON.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// produce byte-identical JSON, and the bytes are exactly those of the
+/// historical `BTreeMap`-backed engine (asserted by the
+/// `columnar_equivalence` suite).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CatchmentMap {
     /// Dataset tag, e.g. "SBV-5-15".
     pub name: String,
-    map: BTreeMap<Block24, SiteId>,
+    /// Mapped blocks, strictly ascending.
+    blocks: Vec<Block24>,
+    /// Site of `blocks[i]`, parallel to `blocks`.
+    sites: Vec<SiteId>,
 }
 
 impl CatchmentMap {
     /// Folds cleaned replies into the map. Cleaning guarantees one reply
     /// per hitlist index, hence one entry per block.
     pub fn from_replies(name: &str, replies: &[CleanReply], hitlist: &Hitlist) -> CatchmentMap {
-        let mut map = BTreeMap::new();
-        for r in replies {
-            let block = hitlist.entry(vp_net::conv::sat_usize(r.index)).block;
-            map.insert(block, r.site);
-        }
-        CatchmentMap {
-            name: name.to_owned(),
-            map,
-        }
+        Self::from_pairs(
+            name,
+            replies.iter().map(|r| {
+                let block = hitlist.entry(vp_net::conv::sat_usize(r.index)).block;
+                (block, r.site)
+            }),
+        )
     }
 
     /// Builds a map directly from `(block, site)` pairs (used by analyses
-    /// and tests).
+    /// and tests). Later pairs win on duplicate blocks, matching map-insert
+    /// semantics.
     pub fn from_pairs(name: &str, pairs: impl IntoIterator<Item = (Block24, SiteId)>) -> Self {
+        let mut rows: Vec<(Block24, SiteId)> = pairs.into_iter().collect();
+        // Stable sort keeps duplicate blocks in input order, so keeping the
+        // last of each run reproduces `BTreeMap::insert` last-wins.
+        rows.sort_by_key(|&(b, _)| b);
+        let mut blocks: Vec<Block24> = Vec::with_capacity(rows.len());
+        let mut sites: Vec<SiteId> = Vec::with_capacity(rows.len());
+        for (b, s) in rows {
+            if blocks.last() == Some(&b) {
+                // vp-lint: allow(h2): last() == Some above proves non-emptiness.
+                *sites.last_mut().expect("parallel columns") = s;
+            } else {
+                blocks.push(b);
+                sites.push(s);
+            }
+        }
         CatchmentMap {
             name: name.to_owned(),
-            map: pairs.into_iter().collect(),
+            blocks,
+            sites,
         }
     }
 
     /// Number of mapped blocks.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.blocks.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.blocks.is_empty()
     }
 
     /// The site a block maps to, if it responded.
     pub fn site_of(&self, block: Block24) -> Option<SiteId> {
-        self.map.get(&block).copied()
+        self.blocks
+            .binary_search(&block)
+            .ok()
+            .map(|i| self.sites[i]) // vp-lint: allow(g1): binary_search ranks are below len and the columns are parallel.
     }
 
     /// Iterates all `(block, site)` entries in ascending block order.
     pub fn iter(&self) -> impl Iterator<Item = (Block24, SiteId)> + '_ {
-        self.map.iter().map(|(b, s)| (*b, *s))
+        self.blocks
+            .iter()
+            .copied()
+            .zip(self.sites.iter().copied())
     }
 
     /// Absorbs another map's entries (disjoint union).
@@ -70,26 +106,66 @@ impl CatchmentMap {
     /// Inputs are expected to cover disjoint block sets — the per-shard
     /// maps of one partitioned scan. Under that precondition the merge is
     /// associative and order-insensitive, so any shard merge order yields
-    /// the same map.
+    /// the same map. Columnar storage makes it a linear two-way zip of
+    /// sorted columns.
     ///
     /// # Panics
     /// Panics (debug builds) if `other` maps a block this map already
     /// holds with a different site — that means the inputs were not
     /// shards of one scan.
+    // vp-lint: merge-tested(CatchmentMap::merge, suite=columnar_equivalence)
     pub fn merge(&mut self, other: &CatchmentMap) {
-        for (block, site) in &other.map {
-            let prev = self.map.insert(*block, *site);
-            debug_assert!(
-                prev.is_none() || prev == Some(*site),
-                "merge inputs disagree on block {block}: {prev:?} vs {site:?}"
-            );
+        if other.is_empty() {
+            return;
         }
+        // Fast path: the common shard-merge case appends a strictly later
+        // block range — a plain column extend, no re-sort.
+        if self.blocks.last() < other.blocks.first() {
+            self.blocks.extend_from_slice(&other.blocks);
+            self.sites.extend_from_slice(&other.sites);
+            return;
+        }
+        let mut blocks = Vec::with_capacity(self.blocks.len() + other.blocks.len());
+        let mut sites = Vec::with_capacity(self.sites.len() + other.sites.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.blocks.len() && j < other.blocks.len() {
+            let (a, b) = (self.blocks[i], other.blocks[j]); // vp-lint: allow(g1): i and j are bounded by the loop condition.
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => {
+                    blocks.push(a);
+                    sites.push(self.sites[i]); // vp-lint: allow(g1): columns are parallel.
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    blocks.push(b);
+                    sites.push(other.sites[j]); // vp-lint: allow(g1): columns are parallel.
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let (sa, sb) = (self.sites[i], other.sites[j]); // vp-lint: allow(g1): columns are parallel.
+                    debug_assert!(
+                        sa == sb,
+                        "merge inputs disagree on block {a}: {sa:?} vs {sb:?}"
+                    );
+                    blocks.push(b);
+                    sites.push(sb); // other wins like map insert
+                    j += 1;
+                    i += 1;
+                }
+            }
+        }
+        blocks.extend_from_slice(&self.blocks[i..]); // vp-lint: allow(g1): i never exceeds len, per the loop condition.
+        sites.extend_from_slice(&self.sites[i..]); // vp-lint: allow(g1): i never exceeds len, per the loop condition.
+        blocks.extend_from_slice(&other.blocks[j..]); // vp-lint: allow(g1): j never exceeds len, per the loop condition.
+        sites.extend_from_slice(&other.sites[j..]); // vp-lint: allow(g1): j never exceeds len, per the loop condition.
+        self.blocks = blocks;
+        self.sites = sites;
     }
 
     /// Mapped blocks per site.
     pub fn site_counts(&self) -> BTreeMap<SiteId, usize> {
         let mut m = BTreeMap::new();
-        for s in self.map.values() {
+        for s in &self.sites {
             *m.entry(*s).or_insert(0) += 1;
         }
         m
@@ -97,17 +173,17 @@ impl CatchmentMap {
 
     /// Fraction of mapped blocks that map to `site`.
     pub fn fraction_to(&self, site: SiteId) -> f64 {
-        if self.map.is_empty() {
+        if self.sites.is_empty() {
             return 0.0;
         }
-        let hits = self.map.values().filter(|&&s| s == site).count();
-        hits as f64 / self.map.len() as f64
+        let hits = self.sites.iter().filter(|&&s| s == site).count();
+        hits as f64 / self.sites.len() as f64
     }
 
     /// Serializes the dataset to JSON (the paper releases all its
     /// datasets; this is the equivalent open-data format).
     pub fn to_json(&self) -> String {
-        // vp-lint: allow(h2): serializing owned plain data with derived impls cannot fail.
+        // vp-lint: allow(h2): serializing owned plain data cannot fail.
         serde_json::to_string(self).expect("catchment map serializes")
     }
 
@@ -121,19 +197,122 @@ impl CatchmentMap {
     pub fn diff(&self, other: &CatchmentMap) -> (usize, usize, usize) {
         let mut flipped = 0;
         let mut disappeared = 0;
-        for (b, s) in &self.map {
-            match other.map.get(b) {
+        for (b, s) in self.iter() {
+            match other.site_of(b) {
                 Some(t) if t != s => flipped += 1,
                 Some(_) => {}
                 None => disappeared += 1,
             }
         }
         let appeared = other
-            .map
-            .keys()
-            .filter(|b| !self.map.contains_key(*b))
+            .blocks
+            .iter()
+            .filter(|b| self.site_of(**b).is_none())
             .count();
         (flipped, appeared, disappeared)
+    }
+}
+
+/// Serialized form is the byte-identical successor of the historical
+/// `#[derive(Serialize)]` on `{ name: String, map: BTreeMap<Block24,
+/// SiteId> }`: an object with a "map" member keyed by decimal block
+/// numbers. Goldens and released datasets depend on these exact bytes.
+impl Serialize for CatchmentMap {
+    fn to_value(&self) -> Value {
+        let map: BTreeMap<String, Value> = self
+            .iter()
+            .map(|(b, s)| (b.0.to_string(), s.to_value()))
+            .collect();
+        let mut obj = BTreeMap::new();
+        obj.insert("map".to_owned(), Value::Object(map));
+        obj.insert("name".to_owned(), self.name.to_value());
+        Value::Object(obj)
+    }
+}
+
+impl Deserialize for CatchmentMap {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::msg("expected catchment map object"))?;
+        let name = match obj.get("name") {
+            Some(n) => String::from_value(n)?,
+            None => return Err(serde::Error::msg("missing field name")),
+        };
+        let map = match obj.get("map") {
+            Some(m) => BTreeMap::<Block24, SiteId>::from_value(m)?,
+            None => return Err(serde::Error::msg("missing field map")),
+        };
+        Ok(CatchmentMap::from_pairs(&name, map))
+    }
+}
+
+pub mod reference {
+    //! The original `BTreeMap`-backed catchment engine, kept as the proof
+    //! baseline for the columnar core. Not used by the pipeline; the
+    //! `columnar_equivalence` suite drives both engines through identical
+    //! operation sequences and asserts byte-identical serialized output.
+
+    use std::collections::BTreeMap;
+
+    use serde::{Deserialize, Serialize};
+    use vp_bgp::SiteId;
+    use vp_net::Block24;
+
+    /// The historical tree-backed map, field-for-field the pre-columnar
+    /// `CatchmentMap` (so its derived serialization defines the on-disk
+    /// format the columnar engine must reproduce).
+    #[derive(Debug, Clone, Default, Serialize, Deserialize)]
+    pub struct BTreeCatchment {
+        pub name: String,
+        map: BTreeMap<Block24, SiteId>,
+    }
+
+    impl BTreeCatchment {
+        /// Builds a map from `(block, site)` pairs; later pairs win.
+        pub fn from_pairs(
+            name: &str,
+            pairs: impl IntoIterator<Item = (Block24, SiteId)>,
+        ) -> Self {
+            BTreeCatchment {
+                name: name.to_owned(),
+                map: pairs.into_iter().collect(),
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.map.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.map.is_empty()
+        }
+
+        pub fn site_of(&self, block: Block24) -> Option<SiteId> {
+            self.map.get(&block).copied()
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = (Block24, SiteId)> + '_ {
+            self.map.iter().map(|(b, s)| (*b, *s))
+        }
+
+        /// Disjoint union, the tree way: per-entry inserts.
+        // vp-lint: merge-tested(BTreeCatchment::merge, suite=columnar_equivalence)
+        pub fn merge(&mut self, other: &BTreeCatchment) {
+            for (block, site) in &other.map {
+                self.map.insert(*block, *site);
+            }
+        }
+
+        /// Serializes via the derived impl — the format oracle.
+        pub fn to_json(&self) -> String {
+            // vp-lint: allow(h2): serializing owned plain data with derived impls cannot fail.
+            serde_json::to_string(self).expect("catchment map serializes")
+        }
+
+        pub fn from_json(s: &str) -> Result<BTreeCatchment, serde_json::Error> {
+            serde_json::from_str(s)
+        }
     }
 }
 
@@ -170,6 +349,17 @@ mod tests {
     }
 
     #[test]
+    fn from_pairs_is_last_wins_and_sorted() {
+        // Unsorted input with a duplicate block: the later pair must win,
+        // like BTreeMap::insert, and iteration must come out sorted.
+        let m = map("t", &[(5, 1), (2, 0), (5, 3), (1, 2)]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.site_of(Block24(5)), Some(SiteId(3)));
+        let order: Vec<u32> = m.iter().map(|(b, _)| b.0).collect();
+        assert_eq!(order, vec![1, 2, 5]);
+    }
+
+    #[test]
     fn json_roundtrip_preserves_dataset() {
         let m = map("SBV-5-15", &[(1, 0), (2, 1), (300000, 3)]);
         let json = m.to_json();
@@ -180,6 +370,32 @@ mod tests {
             assert_eq!(back.site_of(b), Some(s));
         }
         assert!(CatchmentMap::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn json_bytes_match_btree_reference() {
+        // The format contract in miniature (the full proof lives in the
+        // columnar_equivalence suite): same pairs, same bytes.
+        let pairs = [(1u32, 0u8), (2, 1), (10, 2), (300000, 3)];
+        let col = map("SBV-5-15", &pairs);
+        let tree = reference::BTreeCatchment::from_pairs(
+            "SBV-5-15",
+            pairs.iter().map(|&(b, s)| (Block24(b), SiteId(s))),
+        );
+        assert_eq!(col.to_json(), tree.to_json());
+    }
+
+    #[test]
+    fn merge_interleaved_and_appended() {
+        let mut a = map("m", &[(1, 0), (5, 1)]);
+        let b = map("m", &[(3, 2), (7, 3)]);
+        a.merge(&b); // interleaved: slow path
+        let c = map("m", &[(9, 1), (11, 0)]);
+        a.merge(&c); // strictly later: append fast path
+        let got: Vec<(u32, u8)> = a.iter().map(|(b, s)| (b.0, s.0)).collect();
+        assert_eq!(got, vec![(1, 0), (3, 2), (5, 1), (7, 3), (9, 1), (11, 0)]);
+        a.merge(&CatchmentMap::default());
+        assert_eq!(a.len(), 6);
     }
 
     #[test]

@@ -54,10 +54,12 @@ pub mod placement;
 pub mod predict;
 pub mod prober;
 pub mod report;
+pub mod rtt;
 pub mod scan;
 pub mod stability;
 
 pub use catchment::CatchmentMap;
+pub use rtt::RttTable;
 pub use cleaning::{clean, CleaningStats};
 pub use collector::{forward_to_central, RawReply};
 pub use prober::{ProbeConfig, Prober};

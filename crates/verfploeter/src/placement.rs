@@ -13,7 +13,9 @@ use serde::{Deserialize, Serialize};
 use vp_dns::QueryLog;
 use vp_geo::{CountryId, GeoDb};
 use vp_net::conv;
-use vp_net::{Block24, SimDuration};
+use vp_net::SimDuration;
+
+use crate::rtt::RttTable;
 
 /// One candidate location for a new site.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -31,7 +33,7 @@ pub struct PlacementSuggestion {
 /// capture. `threshold` marks a block as badly served; `load` (optional)
 /// weights blocks by their query volume; `top` limits the result length.
 pub fn suggest_sites(
-    rtts: &BTreeMap<Block24, SimDuration>,
+    rtts: &RttTable,
     geodb: &GeoDb,
     load: Option<&QueryLog>,
     threshold: SimDuration,
@@ -42,7 +44,7 @@ pub fn suggest_sites(
         queries: f64,
     }
     let mut per_country: BTreeMap<CountryId, Acc> = BTreeMap::new();
-    for (&block, &rtt) in rtts {
+    for (block, rtt) in rtts.iter() {
         if rtt < threshold {
             continue;
         }
@@ -81,13 +83,11 @@ pub fn suggest_sites(
 }
 
 /// Summary RTT statistics of a scan: `(p50, p90, max)` over mapped blocks.
-pub fn rtt_percentiles(
-    rtts: &BTreeMap<Block24, SimDuration>,
-) -> Option<(SimDuration, SimDuration, SimDuration)> {
+pub fn rtt_percentiles(rtts: &RttTable) -> Option<(SimDuration, SimDuration, SimDuration)> {
     if rtts.is_empty() {
         return None;
     }
-    let mut v: Vec<SimDuration> = rtts.values().copied().collect();
+    let mut v: Vec<SimDuration> = rtts.values().collect();
     v.sort_unstable();
     let p90 = conv::index(conv::sat_f64_to_u32(v.len() as f64 * 0.9)).min(v.len() - 1);
     let last = *v.last()?;
@@ -98,6 +98,7 @@ pub fn rtt_percentiles(
 mod tests {
     use super::*;
     use vp_geo::GeoLoc;
+    use vp_net::Block24;
 
     fn geodb_two_countries() -> GeoDb {
         let mut db = GeoDb::new();
@@ -115,11 +116,12 @@ mod tests {
         db
     }
 
-    fn rtts(ms_by_block: &[(u32, u64)]) -> BTreeMap<Block24, SimDuration> {
-        ms_by_block
-            .iter()
-            .map(|&(b, ms)| (Block24(b), SimDuration::from_millis(ms)))
-            .collect()
+    fn rtts(ms_by_block: &[(u32, u64)]) -> RttTable {
+        RttTable::from_pairs(
+            ms_by_block
+                .iter()
+                .map(|&(b, ms)| (Block24(b), SimDuration::from_millis(ms))),
+        )
     }
 
     #[test]
@@ -175,6 +177,6 @@ mod tests {
         let (p50, p90, max) = rtt_percentiles(&r).unwrap();
         assert!(p50 <= p90 && p90 <= max);
         assert_eq!(max, SimDuration::from_millis(1000));
-        assert!(rtt_percentiles(&BTreeMap::new()).is_none());
+        assert!(rtt_percentiles(&RttTable::default()).is_none());
     }
 }

@@ -77,36 +77,57 @@ impl Prober {
         Some(u64::from_be_bytes(payload.get(4..12)?.try_into().ok()?))
     }
 
-    /// Builds the probe schedule: every hitlist entry exactly once, in
+    /// Walks the probe schedule — every hitlist index exactly once, in
     /// Feistel-permuted order, paced from `start` by a token bucket at the
-    /// configured rate. `source` must be the measurement address inside the
-    /// anycast prefix.
-    pub fn schedule(&self, hitlist: &Hitlist, source: Ipv4Addr, start: SimTime) -> Vec<ScheduledProbe> {
-        let n = hitlist.len() as u64;
+    /// configured rate — calling `f(index, send_time)` per probe **without
+    /// materializing any packet**. O(1) memory: the schedule is a pure
+    /// function of `(n, order_seed, rate, start)`, so shard engines re-walk
+    /// it to recover their slice of a million-probe round instead of
+    /// holding the whole round in memory.
+    pub fn walk_schedule(&self, n: u64, start: SimTime, mut f: impl FnMut(u64, SimTime)) {
         let perm = FeistelPermutation::new(n, self.config.order_seed);
         let mut bucket = TokenBucket::new(self.config.rate_per_sec, 1.0);
         let mut t = start;
-        let mut out = Vec::with_capacity(hitlist.len());
         for i in 0..n {
             let index = perm.permute(i);
-            let entry = hitlist.entry(vp_net::conv::sat_usize(index));
             // Advance to the next admission slot.
             t = bucket.next_available(t);
             let admitted = bucket.try_acquire(t);
             debug_assert!(admitted, "token bucket must admit at next_available");
-            let icmp = IcmpMessage::echo_request(
-                self.config.ident,
-                vp_net::conv::sat_u16(index & 0xffff),
-                Self::encode_payload(index),
-            );
-            let mut packet = Ipv4Packet::new(source, entry.target, Protocol::Icmp, icmp.emit());
-            packet.ident = self.config.ident;
+            f(index, t);
+        }
+    }
+
+    /// Materializes the probe packet for one hitlist index: an ICMP Echo
+    /// Request from `source` carrying the round ident and the index-tagged
+    /// payload.
+    pub fn build_probe(&self, hitlist: &Hitlist, index: u64, source: Ipv4Addr) -> Ipv4Packet {
+        let entry = hitlist.entry(vp_net::conv::sat_usize(index));
+        let icmp = IcmpMessage::echo_request(
+            self.config.ident,
+            vp_net::conv::sat_u16(index & 0xffff),
+            Self::encode_payload(index),
+        );
+        let mut packet = Ipv4Packet::new(source, entry.target, Protocol::Icmp, icmp.emit());
+        packet.ident = self.config.ident;
+        packet
+    }
+
+    /// Builds the full probe schedule as a vector: every hitlist entry
+    /// exactly once, in Feistel-permuted order, paced from `start` by a
+    /// token bucket at the configured rate. `source` must be the
+    /// measurement address inside the anycast prefix. Convenience wrapper
+    /// over [`Prober::walk_schedule`] + [`Prober::build_probe`] — at
+    /// million-target scale prefer the streaming pair.
+    pub fn schedule(&self, hitlist: &Hitlist, source: Ipv4Addr, start: SimTime) -> Vec<ScheduledProbe> {
+        let mut out = Vec::with_capacity(hitlist.len());
+        self.walk_schedule(hitlist.len() as u64, start, |index, at| {
             out.push(ScheduledProbe {
-                at: t,
-                packet,
+                at,
+                packet: self.build_probe(hitlist, index, source),
                 index,
             });
-        }
+        });
         out
     }
 

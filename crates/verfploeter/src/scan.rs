@@ -1,11 +1,9 @@
 //! A full Verfploeter measurement: probe → capture → forward → clean → map.
 
-use std::collections::BTreeMap;
-
 use vp_bgp::Announcement;
 use vp_hitlist::Hitlist;
 use vp_net::conv;
-use vp_net::{Block24, SimDuration, SimTime};
+use vp_net::{SimDuration, SimTime};
 use vp_sim::{CatchmentOracle, FaultConfig, NetworkSim};
 use vp_topology::Internet;
 
@@ -13,6 +11,7 @@ use crate::catchment::CatchmentMap;
 use crate::cleaning::{clean, CleaningStats};
 use crate::collector::{forward_to_central, split_by_site};
 use crate::prober::{ProbeConfig, Prober};
+use crate::rtt::RttTable;
 
 /// Configuration of one measurement round.
 #[derive(Debug, Clone)]
@@ -53,8 +52,9 @@ pub struct ScanResult {
     /// Round-trip time per mapped block (probe transmission to reply
     /// arrival at the capturing site). The paper's §7 notes these RTTs
     /// "can be used to suggest where new anycast sites would be helpful".
-    /// Keyed in block order so downstream reports iterate deterministically.
-    pub rtts: BTreeMap<Block24, SimDuration>,
+    /// Keyed in block order so downstream reports iterate deterministically;
+    /// stored as a fixed-point columnar [`RttTable`] (exact — see its docs).
+    pub rtts: RttTable,
     /// Simulator counters for the round.
     pub sim_stats: vp_sim::SimStats,
     /// Observability snapshot for the round (metrics + trace).
@@ -109,7 +109,7 @@ fn finish_obs(
     sim_stats: &vp_sim::SimStats,
     cleaning: &CleaningStats,
     catchments: &CatchmentMap,
-    rtts: &BTreeMap<Block24, SimDuration>,
+    rtts: &RttTable,
     announcement: &Announcement,
 ) -> ScanObs {
     let mut registry = vp_obs::Registry::new();
@@ -208,14 +208,17 @@ pub fn run_scan(
     let source = announcement.measurement_addr();
 
     let prober = Prober::new(config.probe.clone());
-    let probes = prober.schedule(hitlist, source, start);
-    let probes_sent = probes.len() as u64;
-    let last_probe = probes.last().map_or(start, |p| p.at);
+    let probes_sent = hitlist.len() as u64;
+    let mut last_probe = start;
     let mut send_time = vec![SimTime::ZERO; hitlist.len()];
-    for p in probes {
-        send_time[conv::sat_usize(p.index)] = p.at; // vp-lint: allow(g1): probe indices are minted by schedule() over this hitlist.
-        sim.send_at(p.at, p.packet);
-    }
+    // Stream the schedule straight into the engine: no intermediate probe
+    // vector — pacing is monotone, so the last walked time is the last
+    // probe's transmission time.
+    prober.walk_schedule(probes_sent, start, |index, at| {
+        send_time[conv::sat_usize(index)] = at; // vp-lint: allow(g1): walk indices are a permutation of this hitlist's indices.
+        last_probe = at;
+        sim.send_at(at, prober.build_probe(hitlist, index, source));
+    });
     sim.run();
 
     let num_sites = announcement.sites.len();
@@ -224,13 +227,10 @@ pub fn run_scan(
     let central = forward_to_central(by_site);
     let (clean_replies, cleaning) = clean(&central, hitlist, config.probe.ident, start, config.cutoff);
     let catchments = CatchmentMap::from_replies(&config.name, &clean_replies, hitlist);
-    let rtts: BTreeMap<Block24, SimDuration> = clean_replies
-        .iter()
-        .map(|r| {
-            let block = hitlist.entry(conv::sat_usize(r.index)).block;
-            (block, r.at.since(send_time[conv::sat_usize(r.index)])) // vp-lint: allow(g1): send_time is sized to the hitlist that minted r.index.
-        })
-        .collect();
+    let rtts = RttTable::from_pairs(clean_replies.iter().map(|r| {
+        let block = hitlist.entry(conv::sat_usize(r.index)).block;
+        (block, r.at.since(send_time[conv::sat_usize(r.index)])) // vp-lint: allow(g1): send_time is sized to the hitlist that minted r.index.
+    }));
 
     let sim_stats = sim.stats();
     let sim_end = sim.now();
@@ -311,18 +311,21 @@ pub fn run_scan_sharded(
     let num_sites = announcement.sites.len();
 
     // Global schedule, identical to the serial path: pacing and payload
-    // indices must not depend on the shard count.
+    // indices must not depend on the shard count. One O(1)-memory prepass
+    // walk records send times and per-shard probe counts; **no packet is
+    // materialized here** — each shard engine re-walks the schedule and
+    // builds only its own contiguous slice, so peak probe storage is
+    // O(hitlist/K) per engine instead of O(hitlist) up front.
     let prober = Prober::new(config.probe.clone());
-    let probes = prober.schedule(hitlist, source, start);
-    let probes_sent = probes.len() as u64;
-    let last_probe = probes.last().map_or(start, |p| p.at);
+    let probes_sent = hitlist.len() as u64;
+    let mut last_probe = start;
     let mut send_time = vec![SimTime::ZERO; hitlist.len()];
-    let mut per_shard: Vec<Vec<crate::prober::ScheduledProbe>> =
-        (0..shards).map(|_| Vec::new()).collect();
-    for p in probes {
-        send_time[conv::sat_usize(p.index)] = p.at; // vp-lint: allow(g1): probe indices are minted by schedule() over this hitlist.
-        per_shard[hitlist.shard_of(conv::sat_usize(p.index), shards)].push(p); // vp-lint: allow(g1): shard_of returns a value < shards by contract.
-    }
+    let mut shard_probe_counts = vec![0u64; shards];
+    prober.walk_schedule(probes_sent, start, |index, at| {
+        send_time[conv::sat_usize(index)] = at; // vp-lint: allow(g1): walk indices are a permutation of this hitlist's indices.
+        last_probe = at;
+        shard_probe_counts[hitlist.shard_of(conv::sat_usize(index), shards)] += 1; // vp-lint: allow(g1): shard_of returns a value < shards by contract.
+    });
 
     // One engine per shard, executed on a worker pool bounded by the host's
     // parallelism (a shard count far above the core count — even one per
@@ -333,7 +336,7 @@ pub fn run_scan_sharded(
     struct ShardOutcome {
         catchments: CatchmentMap,
         cleaning: CleaningStats,
-        rtts: Vec<(Block24, SimDuration)>,
+        rtts: RttTable,
         sim_stats: vp_sim::SimStats,
         probes: u64,
         sim_end: SimTime,
@@ -345,10 +348,9 @@ pub fn run_scan_sharded(
     let workers = std::thread::available_parallelism()
         .map_or(1, |n| n.get())
         .min(shards);
-    let mut batches: Vec<Vec<(usize, Vec<crate::prober::ScheduledProbe>)>> =
-        (0..workers).map(|_| Vec::new()).collect();
-    for (k, shard_probes) in per_shard.into_iter().enumerate() {
-        batches[k % workers].push((k, shard_probes)); // vp-lint: allow(g1): k % workers is always below workers, the length of batches.
+    let mut batches: Vec<Vec<usize>> = (0..workers).map(|_| Vec::new()).collect();
+    for k in 0..shards {
+        batches[k % workers].push(k); // vp-lint: allow(g1): k % workers is always below workers, the length of batches.
     }
     let mut outcomes: Vec<(usize, ShardOutcome)> = std::thread::scope(|scope| {
         let handles: Vec<_> = batches
@@ -356,19 +358,27 @@ pub fn run_scan_sharded(
             .map(|batch| {
                 let faults = &faults;
                 let send_time = &send_time;
+                let prober = &prober;
+                let shard_probe_counts = &shard_probe_counts;
                 scope.spawn(move || {
                     batch
                         .into_iter()
-                        .map(|(k, shard_probes)| {
+                        .map(|k| {
                             let mut sim =
                                 NetworkSim::new_shard(world, faults.clone(), sim_seed, k as u64);
                             sim.attach_obs(config.trace);
                             let svc =
                                 sim.register_service(announcement.clone(), make_oracle(), false);
-                            let probes = shard_probes.len() as u64;
-                            for p in shard_probes {
-                                sim.send_at(p.at, p.packet);
-                            }
+                            let probes = shard_probe_counts[k]; // vp-lint: allow(g1): k < shards, the length of shard_probe_counts.
+                            // Re-walk the global schedule and materialize
+                            // only this shard's probes: identical send
+                            // times and payloads to the serial path, at
+                            // O(shard) packet memory.
+                            prober.walk_schedule(hitlist.len() as u64, start, |index, at| {
+                                if hitlist.shard_of(conv::sat_usize(index), shards) == k {
+                                    sim.send_at(at, prober.build_probe(hitlist, index, source));
+                                }
+                            });
                             sim.run();
 
                             let captures = sim.take_captures(svc);
@@ -383,13 +393,10 @@ pub fn run_scan_sharded(
                             );
                             let catchments =
                                 CatchmentMap::from_replies(&config.name, &clean_replies, hitlist);
-                            let rtts = clean_replies
-                                .iter()
-                                .map(|r| {
-                                    let block = hitlist.entry(conv::sat_usize(r.index)).block;
-                                    (block, r.at.since(send_time[conv::sat_usize(r.index)])) // vp-lint: allow(g1): send_time is sized to the hitlist that minted r.index.
-                                })
-                                .collect();
+                            let rtts = RttTable::from_pairs(clean_replies.iter().map(|r| {
+                                let block = hitlist.entry(conv::sat_usize(r.index)).block;
+                                (block, r.at.since(send_time[conv::sat_usize(r.index)])) // vp-lint: allow(g1): send_time is sized to the hitlist that minted r.index.
+                            }));
                             let sim_end = sim.now();
                             let (obs_registry, obs_trace) = match sim.take_obs() {
                                 Some(engine_obs) => {
@@ -428,7 +435,7 @@ pub fn run_scan_sharded(
     // hitlist slices, so the unions are disjoint and the sums exact.
     let mut catchments = CatchmentMap::from_pairs(&config.name, std::iter::empty());
     let mut cleaning = CleaningStats::default();
-    let mut rtts = BTreeMap::new();
+    let mut rtts = RttTable::default();
     let mut sim_stats = vp_sim::SimStats::default();
     let mut sim_end = SimTime::ZERO;
     let mut shard_probes = Vec::with_capacity(outcomes.len());
@@ -436,7 +443,7 @@ pub fn run_scan_sharded(
     for (_, o) in &outcomes {
         catchments.merge(&o.catchments);
         cleaning.merge(&o.cleaning);
-        rtts.extend(o.rtts.iter().copied());
+        rtts.merge(&o.rtts);
         sim_stats.merge(&o.sim_stats);
         // The union of shard event streams is the serial event stream, so
         // the max final clock equals the serial engine's final clock.
@@ -634,7 +641,7 @@ mod tests {
             assert_eq!(b.catchments.site_of(block), Some(site), "block {block}");
         }
         assert_eq!(a.rtts.len(), b.rtts.len(), "rtt map sizes differ");
-        for (block, rtt) in &a.rtts {
+        for (block, rtt) in a.rtts.iter() {
             assert_eq!(b.rtts.get(block), Some(rtt), "rtt of {block}");
         }
         assert_eq!(a.sim_stats, b.sim_stats, "sim stats differ");

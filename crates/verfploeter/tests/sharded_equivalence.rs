@@ -68,7 +68,7 @@ fn assert_identical(serial: &ScanResult, sharded: &ScanResult, label: &str) {
         );
     }
     assert_eq!(serial.rtts.len(), sharded.rtts.len(), "{label}: rtt count");
-    for (block, rtt) in &serial.rtts {
+    for (block, rtt) in serial.rtts.iter() {
         assert_eq!(
             sharded.rtts.get(block),
             Some(rtt),

@@ -1,13 +1,21 @@
 //! Wall-clock baseline for the sharded scan engine: `BENCH_scan.json`.
 //!
-//! Runs the 15k-target benchmark scan serially and at K ∈ {2, 4, 8}
-//! shards, folds the per-rep wall times into a [`vp_obs::Histogram`]
-//! (the same type the run reports use), and writes median/p90 per K to
-//! `BENCH_scan.json` so future PRs have a perf trajectory to compare
-//! against (`vp-monitor check-bench` gates on it). Every rep also
-//! cross-checks that the sharded catchment map stays bit-identical to the
-//! serial one — a benchmark of a wrong result would be worse than no
-//! benchmark.
+//! Runs the benchmark scan serially and at K ∈ {2, 4, 8} shards at one or
+//! more hitlist scales (`--targets 15000,100000`), folds the per-rep wall
+//! times into a [`vp_obs::Histogram`] (the same type the run reports use),
+//! and writes median/p90 per (targets, K) to `BENCH_scan.json` so future
+//! PRs have a perf trajectory to compare against (`vp-monitor check-bench`
+//! gates on it). Every rep also cross-checks that the sharded catchment
+//! map stays bit-identical to the serial one — a benchmark of a wrong
+//! result would be worse than no benchmark.
+//!
+//! Each scale builds its scenario and hitlist **once** and reuses them
+//! across reps and shard counts: the benchmark times the scan engine, not
+//! the topology generator, and at 10^6 blocks regenerating the world per
+//! rep would dominate the wall clock. The columnar scan core keeps per-rep
+//! memory bounded by the hitlist plus O(hitlist/K) in-flight probe state,
+//! which is what makes `--targets 1000000` a one-machine benchmark; peak
+//! RSS is printed at exit as the boundedness witness.
 //!
 //! Percentiles are interpolated ([`Histogram::quantile_interpolated`]):
 //! with a single-digit rep count, rank-picking p90 just returns the max —
@@ -17,8 +25,9 @@
 //! wall-clock timestamps.
 //!
 //! Run with: `cargo run --release -p vp-bench --bin bench_scan`
-//! (`--reps <n>` to change the per-K repetition count, `--out <path>`
-//! to redirect the artifact).
+//! (`--reps <n>` per-(scale, K) repetition count, `--targets <n,n,...>`
+//! comma-separated hitlist scales, `--out <path>` to redirect the
+//! artifact).
 //!
 //! vp-bench is the one crate allowed to read wall clocks (lint rules
 //! d2/d4): timing benchmarks is exactly what real time is for.
@@ -27,10 +36,11 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use serde_json::Value;
-use vp_bench::{bench_hitlist, bench_scenario};
+use vp_bench::{bench_hitlist, bench_scenario_scaled};
+use vp_hitlist::Hitlist;
 use vp_net::SimTime;
 use vp_obs::Histogram;
-use vp_sim::{CatchmentOracle, FaultConfig, StaticOracle};
+use vp_sim::{CatchmentOracle, FaultConfig, Scenario, StaticOracle};
 use verfploeter::scan::{run_scan, run_scan_sharded, ScanConfig, ScanResult};
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -41,16 +51,14 @@ fn wall_time_buckets() -> Vec<u64> {
     Histogram::exponential(1_000_000, 3, 2, 40).bounds().to_vec()
 }
 
-fn scan_once(shards: usize, seed: u64) -> (ScanResult, u64) {
-    let s = bench_scenario(33);
-    let hl = bench_hitlist(&s);
+fn scan_once(s: &Scenario, hl: &Hitlist, shards: usize, seed: u64) -> (ScanResult, u64) {
     let table = s.routing();
     let config = ScanConfig::default();
     let start = Instant::now();
     let result = if shards == 1 {
         run_scan(
             &s.world,
-            &hl,
+            hl,
             &s.announcement,
             Box::new(StaticOracle::new(table)),
             FaultConfig::default(),
@@ -61,7 +69,7 @@ fn scan_once(shards: usize, seed: u64) -> (ScanResult, u64) {
     } else {
         run_scan_sharded(
             &s.world,
-            &hl,
+            hl,
             &s.announcement,
             &|| Box::new(StaticOracle::new(table.clone())) as Box<dyn CatchmentOracle>,
             FaultConfig::default(),
@@ -84,12 +92,21 @@ fn next_run(out: &str) -> u64 {
     prev + 1
 }
 
+/// Peak resident set size in kiB (`VmHWM` from `/proc/self/status`), the
+/// bounded-memory witness for the million-block scale. `None` off Linux.
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     // 9 reps: enough samples that interpolated p90 sits strictly between
     // the median and the max instead of pinning to either.
     let mut reps: u32 = 9;
     let mut out = "BENCH_scan.json".to_owned();
+    let mut scales: Vec<usize> = vec![15_000];
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -104,6 +121,26 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--targets" => {
+                i += 1;
+                scales = args
+                    .get(i)
+                    .map(|s| {
+                        s.split(',')
+                            .map(|t| match t.trim().parse::<usize>() {
+                                Ok(n) if n > 0 => n,
+                                _ => {
+                                    eprintln!("--targets wants positive integers, got {t:?}");
+                                    std::process::exit(2);
+                                }
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_else(|| {
+                        eprintln!("--targets wants a comma-separated list of block counts");
+                        std::process::exit(2);
+                    });
+            }
             "--out" => {
                 i += 1;
                 out = args.get(i).cloned().unwrap_or_else(|| {
@@ -112,53 +149,68 @@ fn main() {
                 });
             }
             other => {
-                eprintln!("unknown argument {other:?} (supported: --reps, --out)");
+                eprintln!("unknown argument {other:?} (supported: --reps, --targets, --out)");
                 std::process::exit(2);
             }
         }
         i += 1;
     }
 
-    // Fixed reference for the bit-identity cross-check (and a warmup).
-    let (reference, _) = scan_once(1, 0xbe9c);
-    let targets = reference.probes_sent;
     let run = next_run(&out);
-    println!("bench_scan: {targets} targets, {reps} reps per K, run {run}");
+    println!(
+        "bench_scan: scales {scales:?}, {reps} reps per K, run {run}"
+    );
 
     let mut series = Vec::new();
-    for shards in SHARD_COUNTS {
-        let mut hist = Histogram::new(wall_time_buckets());
-        for rep in 0..reps {
-            let (result, wall) = scan_once(shards, 0xbe9c);
-            assert_eq!(
-                result.catchments.len(),
-                reference.catchments.len(),
-                "K={shards} rep={rep}: catchment map diverged from serial"
-            );
-            assert_eq!(
-                result.obs.registry.to_canonical_json(),
-                reference.obs.registry.to_canonical_json(),
-                "K={shards} rep={rep}: metrics registry diverged from serial"
-            );
-            hist.observe(wall);
-        }
-        let median = hist.quantile_interpolated(0.5);
-        let p90 = hist.quantile_interpolated(0.9);
-        println!(
-            "  K={shards}: median {:.1}ms  p90 {:.1}ms  (min {:.1}ms, max {:.1}ms)",
-            median as f64 / 1e6,
-            p90 as f64 / 1e6,
-            hist.min() as f64 / 1e6,
-            hist.max() as f64 / 1e6,
+    let mut first_scale_targets = None;
+    for &scale in &scales {
+        let s = bench_scenario_scaled(33, scale);
+        let hl = bench_hitlist(&s);
+        // Fixed reference for the bit-identity cross-check (and a warmup).
+        let (reference, _) = scan_once(&s, &hl, 1, 0xbe9c);
+        let targets = reference.probes_sent;
+        assert_eq!(
+            targets, scale as u64,
+            "scaled scenario undershoots the requested block count — \
+             raise num_ases in bench_scenario_scaled"
         );
-        let mut entry = BTreeMap::new();
-        entry.insert("shards".to_owned(), Value::U64(shards as u64));
-        entry.insert("reps".to_owned(), Value::U64(reps as u64));
-        entry.insert("median_ns".to_owned(), Value::U64(median));
-        entry.insert("p90_ns".to_owned(), Value::U64(p90));
-        entry.insert("min_ns".to_owned(), Value::U64(hist.min()));
-        entry.insert("max_ns".to_owned(), Value::U64(hist.max()));
-        series.push(Value::Object(entry));
+        first_scale_targets.get_or_insert(targets);
+        println!("  targets={targets}");
+        for shards in SHARD_COUNTS {
+            let mut hist = Histogram::new(wall_time_buckets());
+            for rep in 0..reps {
+                let (result, wall) = scan_once(&s, &hl, shards, 0xbe9c);
+                assert_eq!(
+                    result.catchments.len(),
+                    reference.catchments.len(),
+                    "targets={targets} K={shards} rep={rep}: catchment map diverged from serial"
+                );
+                assert_eq!(
+                    result.obs.registry.to_canonical_json(),
+                    reference.obs.registry.to_canonical_json(),
+                    "targets={targets} K={shards} rep={rep}: metrics registry diverged from serial"
+                );
+                hist.observe(wall);
+            }
+            let median = hist.quantile_interpolated(0.5);
+            let p90 = hist.quantile_interpolated(0.9);
+            println!(
+                "    K={shards}: median {:.1}ms  p90 {:.1}ms  (min {:.1}ms, max {:.1}ms)",
+                median as f64 / 1e6,
+                p90 as f64 / 1e6,
+                hist.min() as f64 / 1e6,
+                hist.max() as f64 / 1e6,
+            );
+            let mut entry = BTreeMap::new();
+            entry.insert("targets".to_owned(), Value::U64(targets));
+            entry.insert("shards".to_owned(), Value::U64(shards as u64));
+            entry.insert("reps".to_owned(), Value::U64(reps as u64));
+            entry.insert("median_ns".to_owned(), Value::U64(median));
+            entry.insert("p90_ns".to_owned(), Value::U64(p90));
+            entry.insert("min_ns".to_owned(), Value::U64(hist.min()));
+            entry.insert("max_ns".to_owned(), Value::U64(hist.max()));
+            series.push(Value::Object(entry));
+        }
     }
 
     let mut doc = BTreeMap::new();
@@ -168,9 +220,17 @@ fn main() {
     );
     doc.insert("benchmark".to_owned(), Value::Str("run_scan".to_owned()));
     doc.insert("run".to_owned(), Value::U64(run));
-    doc.insert("targets".to_owned(), Value::U64(targets));
+    // Doc-level targets stays the first scale: series entries carry their
+    // own, and pre-multi-scale readers default entries to this value.
+    doc.insert(
+        "targets".to_owned(),
+        Value::U64(first_scale_targets.unwrap_or(0)),
+    );
     doc.insert("series".to_owned(), Value::Array(series));
     let text = serde_json::to_string_pretty(&Value::Object(doc)).expect("serialize");
     std::fs::write(&out, text).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    if let Some(kib) = peak_rss_kib() {
+        println!("peak RSS {:.1} MiB", kib as f64 / 1024.0);
+    }
     println!("wrote {out}");
 }

@@ -6,8 +6,13 @@
 //!   listed rules on the annotated line. A trailing comment annotates its
 //!   own line; a comment alone on a line annotates the next line. The
 //!   justification is mandatory: an allow without one is itself a finding.
-//! * `vp-lint: merge-tested(<Type::merge>)` — declares that the named
-//!   `pub fn merge` has a commutativity/associativity test (rule D3).
+//! * `vp-lint: merge-tested(<Type::merge>[, suite=<file-stem>])` — declares
+//!   that the named `pub fn merge` has a commutativity/associativity test
+//!   (rule D3). The optional `suite=` names the test file (by stem, e.g.
+//!   `suite=columnar_equivalence` for `tests/columnar_equivalence.rs`) that
+//!   proves the algebra; rule D3 verifies the named file actually exists in
+//!   the scanned set, so a marker cannot point at a deleted or misspelled
+//!   suite and still discharge the obligation.
 //!
 //! Anything else after a `vp-lint:` marker is a malformed directive and is
 //! reported (unsuppressibly) so typos cannot silently disable a rule.
@@ -25,12 +30,25 @@ pub struct Allow {
     pub rules: Vec<RuleId>,
 }
 
+/// A parsed `merge-tested(...)` marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeMarker {
+    /// 1-based line of the directive comment.
+    pub line: usize,
+    /// Qualified merge name the marker vouches for, e.g.
+    /// `CatchmentMap::merge` (or the bare `merge` wildcard).
+    pub name: String,
+    /// Stem of the test file claimed to prove the algebra
+    /// (`suite=<file-stem>`), when declared.
+    pub suite: Option<String>,
+}
+
 /// Directives extracted from one file's comments.
 #[derive(Debug, Clone, Default)]
 pub struct Directives {
     pub allows: Vec<Allow>,
-    /// `merge-tested(...)` payloads, e.g. `CatchmentMap::merge`.
-    pub merge_markers: Vec<String>,
+    /// `merge-tested(...)` markers, e.g. `CatchmentMap::merge`.
+    pub merge_markers: Vec<MergeMarker>,
     /// Malformed directives: (line, explanation).
     pub malformed: Vec<(usize, String)>,
 }
@@ -73,13 +91,13 @@ pub fn parse(comments: &[Comment]) -> Directives {
                 Err(why) => out.malformed.push((c.line, why)),
             }
         } else if let Some(args) = rest.strip_prefix("merge-tested") {
-            match parse_paren(args) {
-                Some(inner) if !inner.trim().is_empty() => {
-                    out.merge_markers.push(inner.trim().to_string());
-                }
-                _ => out
-                    .malformed
-                    .push((c.line, "merge-tested needs a (Type::merge) argument".into())),
+            match parse_paren(args).map(|inner| parse_merge_marker(inner, c.line)) {
+                Some(Ok(marker)) => out.merge_markers.push(marker),
+                Some(Err(why)) => out.malformed.push((c.line, why)),
+                None => out.malformed.push((
+                    c.line,
+                    "merge-tested needs a (Type::merge[, suite=<file-stem>]) argument".into(),
+                )),
             }
         } else {
             out.malformed.push((
@@ -92,6 +110,37 @@ pub fn parse(comments: &[Comment]) -> Directives {
         }
     }
     out
+}
+
+/// Parses the `Type::merge[, suite=<file-stem>]` payload of a
+/// `merge-tested` directive. Unknown arguments are malformed — a typo like
+/// `suit=` must not silently become part of the merge name.
+fn parse_merge_marker(inner: &str, line: usize) -> Result<MergeMarker, String> {
+    let mut parts = inner.split(',').map(str::trim);
+    let name = parts.next().unwrap_or("");
+    if name.is_empty() {
+        return Err("merge-tested needs a (Type::merge[, suite=<file-stem>]) argument".into());
+    }
+    let mut suite = None;
+    for p in parts {
+        let Some(v) = p.strip_prefix("suite=") else {
+            return Err(format!(
+                "unknown merge-tested argument `{p}` (expected suite=<file-stem>)"
+            ));
+        };
+        let v = v.trim();
+        if v.is_empty() {
+            return Err("merge-tested suite= needs a test file stem".into());
+        }
+        if suite.replace(v.to_string()).is_some() {
+            return Err("merge-tested takes at most one suite= argument".into());
+        }
+    }
+    Ok(MergeMarker {
+        line,
+        name: name.to_string(),
+        suite,
+    })
 }
 
 /// Extracts the content of a leading `( ... )` group, if present.

@@ -4,7 +4,7 @@
 //! |-----|------|
 //! | d1  | no `HashMap`/`HashSet` in non-test code — ambient hash order must never feed catchment maps, serialized results or reports |
 //! | d2  | no ambient nondeterminism (`thread_rng`, `SystemTime::now`, `Instant::now`, `std::env`) outside `vp-bench` |
-//! | d3  | every `pub fn merge` needs a merge-algebra test (a `vp-lint: merge-tested(Type::merge)` marker or a matching test name; in marker-strict crates — `vp-monitor` — only an exact marker counts) |
+//! | d3  | every `pub fn merge` needs a merge-algebra test (a `vp-lint: merge-tested(Type::merge[, suite=<file-stem>])` marker or a matching test name; in marker-strict crates — `vp-monitor` — only an exact marker counts; a `suite=` claim must name a scanned file) |
 //! | d4  | wall-time `Clock` impls belong in binaries or `vp-bench`: a library file that implements the `Clock` trait must not read `Instant`/`SystemTime` |
 //! | h1  | no narrowing `as` casts in the hot crates (`vp-sim`, `verfploeter`, `vp-hitlist`) |
 //! | h2  | no `unwrap()`/`expect()` in library (non-test, non-bin) code |
@@ -163,8 +163,8 @@ pub struct MergeDef {
 pub struct FileScan {
     pub findings: Vec<Finding>,
     pub merge_defs: Vec<MergeDef>,
-    /// `merge-tested(...)` marker payloads.
-    pub merge_markers: Vec<String>,
+    /// `merge-tested(...)` markers.
+    pub merge_markers: Vec<directives::MergeMarker>,
     /// Names of `fn`s in test scope, lowercased with underscores removed.
     pub test_fn_keys: Vec<String>,
     /// `(applies-to line, rule)` pairs for allow directives that actually
@@ -540,28 +540,77 @@ pub fn scan_tokens(ctx: &FileContext, tokens: &[Token], dirs: &Directives) -> Fi
     out
 }
 
+/// A `merge-tested(...)` marker plus the file it was written in, for
+/// cross-file D3 resolution (and for anchoring suite-claim findings).
+#[derive(Debug, Clone)]
+pub struct MarkerSite {
+    /// Workspace-relative path of the file carrying the marker.
+    pub file: String,
+    pub marker: directives::MergeMarker,
+}
+
 /// Resolves rule D3 across files: every unsuppressed `pub fn merge` must be
 /// named by a `merge-tested(...)` marker or covered by a test fn whose
 /// name mentions both the type and "merge". In marker-strict crates
 /// (`D3_MARKER_REQUIRED_CRATES`) only an exact `merge-tested(Type::merge)`
 /// marker counts.
 ///
+/// A marker may claim a proving suite with `suite=<file-stem>`; the claim
+/// is verified against `scanned_files` (the workspace file set). A marker
+/// whose suite does not exist is reported (unsuppressibly, like a malformed
+/// directive) and does **not** discharge any obligation — deleting or
+/// renaming the suite re-fires D3 at every merge that relied on it.
+///
 /// Also returns the `(file, line)` of every *suppressed* definition that
 /// would have failed — those are the lines where an `allow(d3)` is doing
 /// real work, which rule g3 needs to know.
 pub fn resolve_merge_rule(
     defs: &[MergeDef],
-    markers: &[String],
+    markers: &[MarkerSite],
     test_fn_keys: &[String],
+    scanned_files: &[String],
 ) -> (Vec<Finding>, Vec<(String, usize)>) {
     let mut findings = Vec::new();
     let mut used: Vec<(String, usize)> = Vec::new();
+
+    // Verify suite claims first; only markers with an honest (or absent)
+    // claim participate in matching.
+    let mut valid: Vec<&str> = Vec::new();
+    for site in markers {
+        match &site.marker.suite {
+            Some(stem) => {
+                let target = format!("{stem}.rs");
+                let exists = scanned_files.iter().any(|f| {
+                    f == &target || f.ends_with(&format!("/{target}"))
+                });
+                if exists {
+                    valid.push(&site.marker.name);
+                } else {
+                    findings.push(Finding {
+                        file: site.file.clone(),
+                        line: site.marker.line,
+                        col: 1,
+                        rule: RuleId::Directive,
+                        message: format!(
+                            "merge-tested({}, suite={stem}) names a suite that does not \
+                             exist: no scanned file is `{target}` — fix the stem or \
+                             restore the suite",
+                            site.marker.name
+                        ),
+                        witness: Vec::new(),
+                    });
+                }
+            }
+            None => valid.push(&site.marker.name),
+        }
+    }
+
     for def in defs {
-        let exact = markers.iter().any(|m| m == &def.qualified);
+        let exact = valid.iter().any(|m| *m == def.qualified);
         let ok = if def.marker_required {
             exact
         } else {
-            let marked = exact || markers.iter().any(|m| m == "merge");
+            let marked = exact || valid.iter().any(|m| *m == "merge");
             let named = !def.type_key.is_empty()
                 && test_fn_keys
                     .iter()

@@ -178,8 +178,9 @@ pub fn build_graph(root: &Path) -> io::Result<Graph> {
 pub fn scan_files(root: &Path, files: &[PathBuf]) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
     let mut merge_defs = Vec::new();
-    let mut markers = Vec::new();
+    let mut markers: Vec<rules::MarkerSite> = Vec::new();
     let mut test_fn_keys = Vec::new();
+    let mut scanned_files: Vec<String> = Vec::new();
     let mut indexes: Vec<FileIndex> = Vec::new();
     // Every allow directive in the scanned set, and the (file, line, rule)
     // suppressions that actually fired — rule g3 is their difference.
@@ -200,8 +201,14 @@ pub fn scan_files(root: &Path, files: &[PathBuf]) -> io::Result<Vec<Finding>> {
         }
         findings.append(&mut scan.findings);
         merge_defs.append(&mut scan.merge_defs);
-        markers.append(&mut scan.merge_markers);
+        for marker in scan.merge_markers.drain(..) {
+            markers.push(rules::MarkerSite {
+                file: ctx.rel_path.clone(),
+                marker,
+            });
+        }
         test_fn_keys.append(&mut scan.test_fn_keys);
+        scanned_files.push(ctx.rel_path.clone());
 
         if !ctx.is_test && !ctx.is_bin {
             let mut fx = index::index_file(&ctx, &tokens, &dirs);
@@ -215,7 +222,8 @@ pub fn scan_files(root: &Path, files: &[PathBuf]) -> io::Result<Vec<Finding>> {
         }
     }
 
-    let (d3_findings, d3_used) = rules::resolve_merge_rule(&merge_defs, &markers, &test_fn_keys);
+    let (d3_findings, d3_used) =
+        rules::resolve_merge_rule(&merge_defs, &markers, &test_fn_keys, &scanned_files);
     findings.extend(d3_findings);
     for (file, line) in d3_used {
         used.insert((file, line, RuleId::D3));

@@ -216,23 +216,97 @@ fn d3_records_merge_defs_and_markers() {
 
     let marked = "// vp-lint: merge-tested(Stats::merge)\nfn t() {}\n";
     let scan = rules::scan_file(&FileContext::from_rel_path("tests/t.rs"), marked);
-    assert_eq!(scan.merge_markers, ["Stats::merge"]);
+    assert_eq!(scan.merge_markers.len(), 1);
+    assert_eq!(scan.merge_markers[0].name, "Stats::merge");
+    assert_eq!(scan.merge_markers[0].suite, None);
 
     // Unresolved defs become findings; marked or name-matched ones do not.
     let defs = scan_defs(src);
     assert_eq!(
-        rules::resolve_merge_rule(&defs, &[], &[]).0.len(),
+        rules::resolve_merge_rule(&defs, &[], &[], &[]).0.len(),
         1,
         "unmarked merge must be a finding"
     );
-    assert!(rules::resolve_merge_rule(&defs, &["Stats::merge".into()], &[]).0.is_empty());
-    assert!(rules::resolve_merge_rule(&defs, &[], &["stats_merge_is_commutative".into()])
+    assert!(rules::resolve_merge_rule(&defs, &markers(&["Stats::merge"]), &[], &[])
         .0
         .is_empty());
+    assert!(
+        rules::resolve_merge_rule(&defs, &[], &["stats_merge_is_commutative".into()], &[])
+            .0
+            .is_empty()
+    );
 }
 
 fn scan_defs(src: &str) -> Vec<rules::MergeDef> {
     rules::scan_file(&FileContext::from_rel_path("crates/vp-sim/src/s.rs"), src).merge_defs
+}
+
+/// Suite-less marker sites for resolve_merge_rule tests.
+fn markers(names: &[&str]) -> Vec<rules::MarkerSite> {
+    names
+        .iter()
+        .map(|n| rules::MarkerSite {
+            file: "tests/t.rs".into(),
+            marker: vp_lint::directives::MergeMarker {
+                line: 1,
+                name: (*n).into(),
+                suite: None,
+            },
+        })
+        .collect()
+}
+
+/// A marker site claiming a proving suite.
+fn suite_marker(name: &str, suite: &str) -> rules::MarkerSite {
+    rules::MarkerSite {
+        file: "crates/vp-net/src/bitset.rs".into(),
+        marker: vp_lint::directives::MergeMarker {
+            line: 7,
+            name: name.into(),
+            suite: Some(suite.into()),
+        },
+    }
+}
+
+#[test]
+fn d3_suite_markers_parse_and_verify() {
+    // Parsing: name + suite stem, rejecting typos and duplicates.
+    let src = "// vp-lint: merge-tested(BitSet::merge, suite=columnar_equivalence)\nfn t() {}\n";
+    let scan = rules::scan_file(&FileContext::from_rel_path("tests/t.rs"), src);
+    assert_eq!(scan.merge_markers.len(), 1);
+    assert_eq!(scan.merge_markers[0].name, "BitSet::merge");
+    assert_eq!(
+        scan.merge_markers[0].suite.as_deref(),
+        Some("columnar_equivalence")
+    );
+    for bad in [
+        "// vp-lint: merge-tested(X::merge, suit=typo)\n",
+        "// vp-lint: merge-tested(X::merge, suite=)\n",
+        "// vp-lint: merge-tested(X::merge, suite=a, suite=b)\n",
+    ] {
+        let scan = rules::scan_file(&FileContext::from_rel_path("tests/t.rs"), bad);
+        assert!(scan.merge_markers.is_empty(), "{bad:?} must not parse");
+        assert!(
+            scan.findings.iter().any(|f| f.rule == RuleId::Directive),
+            "{bad:?} must be a malformed-directive finding"
+        );
+    }
+
+    // Resolution: the claim discharges D3 only when the suite file exists.
+    let defs = scan_defs("impl Stats {\n    pub fn merge(&mut self, o: &Stats) {}\n}\n");
+    let good = [suite_marker("Stats::merge", "columnar_equivalence")];
+    let scanned = ["tests/columnar_equivalence.rs".to_string()];
+    assert!(rules::resolve_merge_rule(&defs, &good, &[], &scanned).0.is_empty());
+
+    // A broken claim fires both an unsuppressable directive finding at the
+    // marker and the original D3 at the merge definition.
+    let broken = [suite_marker("Stats::merge", "deleted_suite")];
+    let (findings, _) = rules::resolve_merge_rule(&defs, &broken, &[], &scanned);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == RuleId::Directive && f.message.contains("deleted_suite")));
+    assert!(findings.iter().any(|f| f.rule == RuleId::D3));
 }
 
 #[test]
@@ -246,23 +320,25 @@ fn d3_marker_strict_crates_require_an_exact_marker() {
 
     // A name-matched test satisfies ordinary crates but not strict ones.
     let named_test = ["driftsummary_merge_is_commutative".to_string()];
-    assert_eq!(rules::resolve_merge_rule(&strict, &[], &named_test).0.len(), 1);
+    assert_eq!(rules::resolve_merge_rule(&strict, &[], &named_test, &[]).0.len(), 1);
     // The bare `merge` wildcard marker is not enough either.
     assert_eq!(
-        rules::resolve_merge_rule(&strict, &["merge".into()], &[]).0.len(),
+        rules::resolve_merge_rule(&strict, &markers(&["merge"]), &[], &[]).0.len(),
         1
     );
     // Only the exact qualified marker discharges the obligation.
-    assert!(rules::resolve_merge_rule(&strict, &["DriftSummary::merge".into()], &[]).0.is_empty());
+    assert!(rules::resolve_merge_rule(&strict, &markers(&["DriftSummary::merge"]), &[], &[])
+        .0
+        .is_empty());
     // The strict finding says so explicitly.
-    let f = &rules::resolve_merge_rule(&strict, &[], &[]).0[0];
+    let f = &rules::resolve_merge_rule(&strict, &[], &[], &[]).0[0];
     assert!(f.message.contains("marker-strict"), "{}", f.message);
 
     // The same source in a non-strict crate keeps the lenient paths.
     let lenient = scan_defs(src);
     assert!(!lenient[0].marker_required);
-    assert!(rules::resolve_merge_rule(&lenient, &[], &named_test).0.is_empty());
-    assert!(rules::resolve_merge_rule(&lenient, &["merge".into()], &[]).0.is_empty());
+    assert!(rules::resolve_merge_rule(&lenient, &[], &named_test, &[]).0.is_empty());
+    assert!(rules::resolve_merge_rule(&lenient, &markers(&["merge"]), &[], &[]).0.is_empty());
 }
 
 #[test]

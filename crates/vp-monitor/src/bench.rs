@@ -23,9 +23,12 @@
 
 use serde_json::Value;
 
-/// One shard-count entry of a `vp-bench-scan/v1` series.
+/// One (targets, shard-count) entry of a `vp-bench-scan/v1` series.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BenchRun {
+    /// Hitlist scale of this entry. Entries without their own `targets`
+    /// field (pre-multi-scale documents) inherit the document-level one.
+    pub targets: u64,
     pub shards: u64,
     pub reps: u64,
     pub min_ns: u64,
@@ -50,7 +53,7 @@ pub struct BenchBaseline {
     pub runs: Vec<BenchScanDoc>,
 }
 
-fn parse_series(doc: &Value, what: &str) -> Result<Vec<BenchRun>, String> {
+fn parse_series(doc: &Value, doc_targets: u64, what: &str) -> Result<Vec<BenchRun>, String> {
     let Some(series) = doc.get("series").and_then(Value::as_array) else {
         return Err(format!("{what}: missing series array"));
     };
@@ -63,6 +66,10 @@ fn parse_series(doc: &Value, what: &str) -> Result<Vec<BenchRun>, String> {
                 .ok_or_else(|| format!("{what}: series[{i}] missing {key}"))
         };
         runs.push(BenchRun {
+            targets: entry
+                .get("targets")
+                .and_then(Value::as_u64)
+                .unwrap_or(doc_targets),
             shards: field("shards")?,
             reps: field("reps")?,
             min_ns: field("min_ns")?,
@@ -79,13 +86,14 @@ fn parse_scan_doc(doc: &Value, what: &str) -> Result<BenchScanDoc, String> {
         Some("vp-bench-scan/v1") => {}
         other => return Err(format!("{what}: unexpected schema {other:?}")),
     }
+    let targets = doc
+        .get("targets")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{what}: missing targets"))?;
     Ok(BenchScanDoc {
         run: doc.get("run").and_then(Value::as_u64).unwrap_or(0),
-        targets: doc
-            .get("targets")
-            .and_then(Value::as_u64)
-            .ok_or_else(|| format!("{what}: missing targets"))?,
-        series: parse_series(doc, what)?,
+        targets,
+        series: parse_series(doc, targets, what)?,
     })
 }
 
@@ -125,13 +133,14 @@ pub fn parse_baseline(text: &str, what: &str) -> Result<BenchBaseline, String> {
     })
 }
 
-/// The verdict for one shard count.
+/// The verdict for one (targets, shard count) pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardVerdict {
+    pub targets: u64,
     pub shards: u64,
     pub current_min_ns: u64,
     /// Best (lowest) min over the baseline trajectory; `None` if the
-    /// baseline has no entry for this shard count.
+    /// baseline has no entry for this (targets, shard count) pair.
     pub baseline_best_ns: Option<u64>,
     /// `current * 1000 / baseline_best`; 1000 = exactly baseline.
     pub ratio_permille: Option<u64>,
@@ -157,8 +166,9 @@ impl BenchVerdict {
             .iter()
             .map(|s| match (s.baseline_best_ns, s.ratio_permille) {
                 (Some(best), Some(ratio)) => format!(
-                    "K={shards}: min {cur:.1}ms vs baseline best {best:.1}ms \
-                     (ratio {ratio} permille, limit {limit}) — {verdict}",
+                    "targets={targets} K={shards}: min {cur:.1}ms vs baseline best \
+                     {best:.1}ms (ratio {ratio} permille, limit {limit}) — {verdict}",
+                    targets = s.targets,
                     shards = s.shards,
                     cur = s.current_min_ns as f64 / 1e6,
                     best = best as f64 / 1e6,
@@ -166,18 +176,19 @@ impl BenchVerdict {
                     verdict = if s.regressed { "REGRESSED" } else { "ok" },
                 ),
                 _ => format!(
-                    "K={}: no baseline entry — skipped (commit a new baseline run)",
-                    s.shards
+                    "targets={} K={}: no baseline entry — skipped (commit a new baseline run)",
+                    s.targets, s.shards
                 ),
             })
             .collect()
     }
 }
 
-/// Applies the noise-aware min-of-reps rule: each current shard count is
-/// compared against the best min across the whole baseline trajectory,
-/// with `tolerance_permille` headroom. Shard counts absent from the
-/// baseline are reported but never regress (a new K needs a committed
+/// Applies the noise-aware min-of-reps rule: each current (targets,
+/// shard-count) pair is compared against the best min across the whole
+/// baseline trajectory **at the same scale** — a 100k-block min must never
+/// be judged against a 15k-block baseline. Pairs absent from the baseline
+/// are reported but never regress (a new scale or K needs a committed
 /// baseline first).
 pub fn check_bench(current: &BenchScanDoc, baseline: &BenchBaseline) -> BenchVerdict {
     let shards = current
@@ -188,7 +199,7 @@ pub fn check_bench(current: &BenchScanDoc, baseline: &BenchBaseline) -> BenchVer
                 .runs
                 .iter()
                 .flat_map(|run| run.series.iter())
-                .filter(|b| b.shards == cur.shards)
+                .filter(|b| b.shards == cur.shards && b.targets == cur.targets)
                 .map(|b| b.min_ns)
                 .min();
             let ratio = best.map(|b| cur.min_ns.saturating_mul(1000) / b.max(1));
@@ -200,6 +211,7 @@ pub fn check_bench(current: &BenchScanDoc, baseline: &BenchBaseline) -> BenchVer
                 None => false,
             };
             ShardVerdict {
+                targets: cur.targets,
                 shards: cur.shards,
                 current_min_ns: cur.min_ns,
                 baseline_best_ns: best,
@@ -229,6 +241,7 @@ fn run_value(doc: &BenchScanDoc) -> Value {
                 .iter()
                 .map(|r| {
                     let mut e = std::collections::BTreeMap::new();
+                    e.insert("targets".to_owned(), Value::U64(r.targets));
                     e.insert("shards".to_owned(), Value::U64(r.shards));
                     e.insert("reps".to_owned(), Value::U64(r.reps));
                     e.insert("min_ns".to_owned(), Value::U64(r.min_ns));
@@ -276,12 +289,17 @@ mod tests {
     use super::*;
 
     fn run(run_no: u64, mins: &[(u64, u64)]) -> BenchScanDoc {
+        run_at(run_no, &mins.iter().map(|&(s, m)| (15000, s, m)).collect::<Vec<_>>())
+    }
+
+    fn run_at(run_no: u64, mins: &[(u64, u64, u64)]) -> BenchScanDoc {
         BenchScanDoc {
             run: run_no,
-            targets: 15000,
+            targets: mins.first().map_or(15000, |&(t, _, _)| t),
             series: mins
                 .iter()
-                .map(|&(shards, min_ns)| BenchRun {
+                .map(|&(targets, shards, min_ns)| BenchRun {
+                    targets,
                     shards,
                     reps: 9,
                     min_ns,
@@ -336,6 +354,43 @@ mod tests {
         let verdict = check_bench(&run(2, &[(1, 1000), (16, 99999)]), &base);
         assert!(!verdict.regressed());
         assert!(verdict.report_lines()[1].contains("no baseline entry"));
+    }
+
+    #[test]
+    fn scales_are_gated_independently() {
+        // 100k entries compare only against 100k baselines: a slow 100k
+        // min must not hide behind a fast 15k baseline, and a new scale
+        // never regresses before its baseline is committed.
+        let base = baseline(
+            500,
+            vec![run_at(1, &[(15000, 1, 1000), (100_000, 1, 8000)])],
+        );
+        let slow_big = run_at(2, &[(15000, 1, 1100), (100_000, 1, 12_001)]);
+        let verdict = check_bench(&slow_big, &base);
+        assert!(verdict.regressed());
+        assert!(!verdict.shards[0].regressed, "15k within tolerance");
+        assert!(verdict.shards[1].regressed, "100k beyond tolerance");
+        assert_eq!(verdict.shards[1].baseline_best_ns, Some(8000));
+        assert!(verdict.report_lines()[1].contains("targets=100000"));
+
+        let new_scale = run_at(3, &[(1_000_000, 1, 999_999_999)]);
+        assert!(!check_bench(&new_scale, &base).regressed());
+    }
+
+    #[test]
+    fn entry_targets_default_to_doc_level() {
+        // Pre-multi-scale documents carry targets only at the document
+        // level; their entries must still match same-scale baselines.
+        let text = r#"{
+            "schema": "vp-bench-scan/v1", "run": 1, "targets": 15000,
+            "series": [{"max_ns": 5, "median_ns": 4, "min_ns": 3,
+                        "p90_ns": 5, "reps": 9, "shards": 1}]
+        }"#;
+        let doc = parse_bench_scan(text, "test").unwrap();
+        assert_eq!(doc.series[0].targets, 15000);
+        let base = baseline(500, vec![doc]);
+        let verdict = check_bench(&run(2, &[(1, 4)]), &base);
+        assert_eq!(verdict.shards[0].baseline_best_ns, Some(3));
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!   (the smallest prefix routable in BGP), so the `/24` block is the unit of
 //!   observation throughout the system.
 //! * [`asn`] — Autonomous System numbers ([`Asn`]).
+//! * [`bitset`] — a packed bitset over dense block ids ([`BitSet`]), the
+//!   boolean column type of the columnar scan core.
 //! * [`trie`] — a longest-prefix-match trie ([`trie::PrefixTrie`]) used for
 //!   the Route Views-style prefix → origin-AS table.
 //! * [`perm`] — pseudorandom probe-order permutations (Feistel cycle-walking
@@ -21,6 +23,7 @@
 
 pub mod addr;
 pub mod asn;
+pub mod bitset;
 pub mod conv;
 pub mod error;
 pub mod pacing;
@@ -30,6 +33,7 @@ pub mod trie;
 
 pub use addr::{Block24, Ipv4Addr, Prefix};
 pub use asn::Asn;
+pub use bitset::BitSet;
 pub use error::NetError;
 pub use pacing::TokenBucket;
 pub use perm::{FeistelPermutation, LcgPermutation, ProbeOrder};

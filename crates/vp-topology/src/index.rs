@@ -1,0 +1,129 @@
+//! Columnar block index: `/24` → dense `u32` id.
+//!
+//! The scan core keys everything by *dense block id* — the rank of a block
+//! in the sorted block universe — so per-block attributes live in flat
+//! columns (`Vec`, [`vp_net::BitSet`]) instead of per-entry tree nodes.
+//! This type is the id mint: two parallel columns, the sorted blocks and
+//! the position of each block in the generator's [`crate::BlockInfo`]
+//! table. Lookup is a binary search over one contiguous `u32` column —
+//! at a million blocks that is ~20 probes of hot cache instead of a
+//! pointer chase through a `BTreeMap`.
+//!
+//! Invariants (checked in debug builds at construction):
+//! * `blocks` is strictly ascending — dense ids are exactly the ranks of
+//!   the sorted block universe, so id order is block order.
+//! * `positions[id]` is the index of `blocks[id]` in the source table the
+//!   index was built over.
+
+use vp_net::Block24;
+
+/// Sorted column of blocks plus the position of each in the source table.
+#[derive(Debug, Clone, Default)]
+pub struct BlockIndex {
+    blocks: Vec<Block24>,
+    positions: Vec<u32>,
+}
+
+impl BlockIndex {
+    /// Builds the index over `(block, position)` pairs. Input order is
+    /// arbitrary; blocks must be unique.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Block24, u32)>) -> BlockIndex {
+        let mut rows: Vec<(Block24, u32)> = pairs.into_iter().collect();
+        rows.sort_unstable_by_key(|&(b, _)| b);
+        debug_assert!(
+            rows.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate block in index input"
+        );
+        let mut blocks = Vec::with_capacity(rows.len());
+        let mut positions = Vec::with_capacity(rows.len());
+        for (b, p) in rows {
+            blocks.push(b);
+            positions.push(p);
+        }
+        BlockIndex { blocks, positions }
+    }
+
+    /// Number of indexed blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Dense id of `block` (its rank in the sorted universe), if indexed.
+    pub fn id_of(&self, block: Block24) -> Option<u32> {
+        self.blocks
+            .binary_search(&block)
+            .ok()
+            .map(vp_net::conv::sat_u32)
+    }
+
+    /// The block with dense id `id`.
+    pub fn block_at(&self, id: u32) -> Option<Block24> {
+        self.blocks.get(vp_net::conv::index(id)).copied()
+    }
+
+    /// Position in the source table of `block`, if indexed.
+    pub fn position_of(&self, block: Block24) -> Option<u32> {
+        self.id_of(block)
+            .map(|id| self.positions[vp_net::conv::index(id)]) // vp-lint: allow(g1): id_of returns ranks below len, and positions has the same length as blocks.
+    }
+
+    /// Iterates `(block, position)` in ascending block order — the dense-id
+    /// order every column in the scan core shares.
+    pub fn iter(&self) -> impl Iterator<Item = (Block24, u32)> + '_ {
+        self.blocks.iter().copied().zip(self.positions.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> BlockIndex {
+        // Deliberately unsorted input.
+        BlockIndex::from_pairs([
+            (Block24(30), 0),
+            (Block24(10), 1),
+            (Block24(20), 2),
+            (Block24(40), 3),
+        ])
+    }
+
+    #[test]
+    fn ids_are_sorted_ranks() {
+        let ix = index();
+        assert_eq!(ix.len(), 4);
+        assert_eq!(ix.id_of(Block24(10)), Some(0));
+        assert_eq!(ix.id_of(Block24(20)), Some(1));
+        assert_eq!(ix.id_of(Block24(30)), Some(2));
+        assert_eq!(ix.id_of(Block24(40)), Some(3));
+        assert_eq!(ix.id_of(Block24(25)), None);
+    }
+
+    #[test]
+    fn positions_follow_blocks() {
+        let ix = index();
+        assert_eq!(ix.position_of(Block24(30)), Some(0));
+        assert_eq!(ix.position_of(Block24(10)), Some(1));
+        assert_eq!(ix.position_of(Block24(99)), None);
+        assert_eq!(ix.block_at(2), Some(Block24(30)));
+        assert_eq!(ix.block_at(4), None);
+    }
+
+    #[test]
+    fn iter_is_block_ordered() {
+        let ix = index();
+        let got: Vec<(u32, u32)> = ix.iter().map(|(b, p)| (b.0, p)).collect();
+        assert_eq!(got, vec![(10, 1), (20, 2), (30, 0), (40, 3)]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let ix = BlockIndex::from_pairs(std::iter::empty());
+        assert!(ix.is_empty());
+        assert_eq!(ix.id_of(Block24(1)), None);
+    }
+}

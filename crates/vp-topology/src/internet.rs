@@ -1,19 +1,24 @@
 //! The assembled synthetic Internet.
 
-use std::collections::BTreeMap;
-
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
 use vp_geo::GeoDb;
-use vp_net::{Asn, Block24, Ipv4Addr, PrefixTrie};
+use vp_net::{Asn, BitSet, Block24, Ipv4Addr};
 
 use crate::blocks::{generate_blocks, BlockInfo};
 use crate::config::TopologyConfig;
 use crate::graph::AsGraph;
+use crate::index::BlockIndex;
+use crate::lpm::ArenaLpm;
 use crate::prefixes::{allocate_prefixes, PrefixInfo};
 
 /// A complete generated world: AS graph, announced prefixes, populated
 /// blocks, geolocation database and origin (Route Views-style) table.
+///
+/// Block-keyed state is columnar: a [`BlockIndex`] maps each `/24` to a
+/// dense `u32` id (its rank in the sorted block universe), and boolean
+/// attributes like responsiveness are packed [`BitSet`] columns over those
+/// ids — the layout the million-block scan core indexes into directly.
 #[derive(Debug, Clone)]
 pub struct Internet {
     pub config: TopologyConfig,
@@ -21,9 +26,13 @@ pub struct Internet {
     pub prefixes: Vec<PrefixInfo>,
     pub blocks: Vec<BlockInfo>,
     pub geodb: GeoDb,
-    /// Longest-prefix-match table from announced prefix to origin AS.
-    pub origin_table: PrefixTrie<Asn>,
-    block_index: BTreeMap<Block24, u32>,
+    /// Longest-prefix-match table from announced prefix to origin AS
+    /// (arena-packed and path-compressed; node count stays `O(prefixes)`
+    /// even for /24-heavy million-block tables).
+    pub origin_table: ArenaLpm<Asn>,
+    block_index: BlockIndex,
+    /// Responsiveness column, keyed by dense block id.
+    responsive: BitSet,
     prefixes_per_as: Vec<u32>,
 }
 
@@ -35,17 +44,24 @@ impl Internet {
         let prefixes = allocate_prefixes(&graph, &config, &mut rng);
         let (blocks, geodb) = generate_blocks(&graph, &prefixes, &config, &mut rng);
 
-        let mut origin_table = PrefixTrie::new();
+        let mut origin_table = ArenaLpm::new();
         let mut prefixes_per_as = vec![0u32; graph.len()];
         for info in &prefixes {
             origin_table.insert(info.prefix, info.origin);
             prefixes_per_as[info.origin.index()] += 1;
         }
-        let block_index = blocks
-            .iter()
-            .enumerate()
-            .map(|(i, b)| (b.block, i as u32))
-            .collect();
+        let block_index = BlockIndex::from_pairs(
+            blocks
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (b.block, i as u32)),
+        );
+        let mut responsive = BitSet::new(blocks.len());
+        for (id, (_, pos)) in block_index.iter().enumerate() {
+            if blocks[vp_net::conv::index(pos)].responsive { // vp-lint: allow(g1): positions are indices into blocks, recorded at construction.
+                responsive.set(id);
+            }
+        }
 
         Internet {
             config,
@@ -55,6 +71,7 @@ impl Internet {
             geodb,
             origin_table,
             block_index,
+            responsive,
             prefixes_per_as,
         }
     }
@@ -62,13 +79,43 @@ impl Internet {
     /// Attribute record for a block, if populated.
     pub fn block(&self, block: Block24) -> Option<&BlockInfo> {
         self.block_index
-            .get(&block)
-            .map(|&i| &self.blocks[i as usize]) // vp-lint: allow(g1): block_index values are positions in blocks, recorded at construction.
+            .position_of(block)
+            .map(|i| &self.blocks[i as usize]) // vp-lint: allow(g1): index positions are indices into blocks, recorded at construction.
     }
 
     /// Index of a populated block in [`Internet::blocks`].
     pub fn block_idx(&self, block: Block24) -> Option<u32> {
-        self.block_index.get(&block).copied()
+        self.block_index.position_of(block)
+    }
+
+    /// Dense id of a populated block: its rank in the sorted block
+    /// universe. Columns produced by the scan core are keyed by this id.
+    pub fn block_id(&self, block: Block24) -> Option<u32> {
+        self.block_index.id_of(block)
+    }
+
+    /// The columnar block index itself (id mint of the scan core).
+    pub fn block_index(&self) -> &BlockIndex {
+        &self.block_index
+    }
+
+    /// Whether the block with dense id `id` answers pings (bitset column).
+    pub fn responsive_id(&self, id: u32) -> bool {
+        self.responsive.get(vp_net::conv::index(id))
+    }
+
+    /// The packed responsiveness column, keyed by dense block id.
+    pub fn responsive_bits(&self) -> &BitSet {
+        &self.responsive
+    }
+
+    /// Iterates populated blocks in ascending block (= dense id) order —
+    /// the canonical order of every column and of the hitlist. Streaming
+    /// consumers use this instead of materializing a sorted copy.
+    pub fn blocks_in_order(&self) -> impl Iterator<Item = &BlockInfo> + '_ {
+        self.block_index
+            .iter()
+            .map(|(_, pos)| &self.blocks[vp_net::conv::index(pos)]) // vp-lint: allow(g1): index positions are indices into blocks, recorded at construction.
     }
 
     /// The origin AS announcing the covering prefix of `ip`, if any.
@@ -134,6 +181,34 @@ mod tests {
         assert!(w.responsive_blocks().all(|b| b.responsive));
         let n = w.responsive_blocks().count();
         assert!(n > 0 && n < w.blocks.len());
+    }
+
+    #[test]
+    fn responsive_bitset_matches_block_attributes() {
+        let w = world();
+        assert_eq!(w.responsive_bits().len(), w.blocks.len());
+        assert_eq!(
+            w.responsive_bits().count_ones(),
+            w.responsive_blocks().count()
+        );
+        for b in w.blocks.iter().take(200) {
+            let id = w.block_id(b.block).unwrap();
+            assert_eq!(w.responsive_id(id), b.responsive, "block {}", b.block);
+        }
+    }
+
+    #[test]
+    fn dense_ids_are_sorted_block_ranks() {
+        let w = world();
+        let mut prev = None;
+        for (id, b) in w.blocks_in_order().enumerate() {
+            if let Some(p) = prev {
+                assert!(p < b.block, "blocks_in_order not strictly ascending");
+            }
+            prev = Some(b.block);
+            assert_eq!(w.block_id(b.block), Some(id as u32));
+        }
+        assert_eq!(w.blocks_in_order().count(), w.blocks.len());
     }
 
     #[test]

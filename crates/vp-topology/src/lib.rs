@@ -25,12 +25,16 @@
 pub mod blocks;
 pub mod config;
 pub mod graph;
+pub mod index;
 pub mod internet;
+pub mod lpm;
 pub mod prefixes;
 pub mod sites;
 
 pub use blocks::BlockInfo;
 pub use config::TopologyConfig;
+pub use index::BlockIndex;
+pub use lpm::ArenaLpm;
 pub use graph::{AsNode, AsTier, Pop, PopId};
 pub use internet::Internet;
 pub use prefixes::PrefixInfo;

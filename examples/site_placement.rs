@@ -99,12 +99,12 @@ fn main() {
     let before = scan
         .rtts
         .values()
-        .filter(|r| **r >= threshold)
+        .filter(|r| *r >= threshold)
         .count();
     let after = rescan
         .rtts
         .values()
-        .filter(|r| **r >= threshold)
+        .filter(|r| *r >= threshold)
         .count();
     println!(
         "badly served blocks: {before} -> {after} ({})",

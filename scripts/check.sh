@@ -14,6 +14,11 @@ cargo build --release
 cargo test -q
 cargo run -q -p vp-lint -- --workspace
 
+# The columnar/BTree scale-equivalence suite is the proof that the
+# columnar scan core is unobservable from the outside; run it by name so
+# a test-filter change can never silently drop it from the gate.
+cargo test -q --test columnar_equivalence
+
 # The graph subcommand must render (smoke test: a dot header and at
 # least one edge), and a full scan must stay inside the tier-1 wall-time
 # budget so the lint_gate test never becomes the slow step.
@@ -27,6 +32,9 @@ cargo run -q --release -p vp-experiments --bin fig2_broot_maps -- \
 VP_OBS_REPORT_DIR="$PWD/$obs_dir/obs" cargo test -q -p vp-experiments \
     --test obs_report emitted_reports_match_schema_snapshot
 
+# vp-monitor is a dev-dependency of the root package, so build its bin
+# explicitly before calling it by path.
+cargo build -q --release -p vp-monitor
 vp_monitor="target/release/vp-monitor"
 
 # Every committed tagged document must conform to its embedded schema.
@@ -40,7 +48,11 @@ vp_monitor="target/release/vp-monitor"
 # detector itself fails the build.
 mon_dir="target/monitor-check"
 rm -rf "$mon_dir"
-target/release/fig9_stability --scale tiny --out "$mon_dir" \
+# Via cargo run (not a bare target/release path): the root package's
+# `cargo build --release` does not build vp-experiments bins, so a cold
+# target directory would otherwise fail here.
+cargo run -q --release -p vp-experiments --bin fig9_stability -- \
+    --scale tiny --out "$mon_dir" \
     --snapshots "$mon_dir/rounds" --obs summary >/dev/null
 "$vp_monitor" diff --rounds "$mon_dir/rounds" \
     --obs-report "$mon_dir/obs/fig9_stability.report.json" \
@@ -49,7 +61,9 @@ diff -u results/monitor/fig9_tiny.drift.json "$mon_dir/monitor/drift.json"
 diff -u results/monitor/fig9_tiny.alerts.json "$mon_dir/monitor/alerts.json"
 
 # Perf gate: the committed BENCH_scan.json must stay within tolerance of
-# the committed baseline trajectory (exit nonzero on regression).
+# the committed baseline trajectory (exit nonzero on regression). The
+# artifact carries both the 15k and 100k-block scales; each (targets, K)
+# pair is gated against same-scale baselines only.
 "$vp_monitor" check-bench --current BENCH_scan.json \
     --baseline results/monitor/bench_baseline.json
 
