@@ -4,14 +4,14 @@
 //! captures must happen concurrently at all anycast sites" and "we copy
 //! all responses to a central site for analysis ... with a custom program
 //! that forwards traffic after tagging it with its site." This module is
-//! that custom program: one forwarding worker per site, a channel into a
-//! central aggregator, and a deterministic (time, sequence) merge order.
+//! that custom program: one forwarding worker per site on the blessed
+//! [`ShardExecutor`] (one result channel per site, received in site-id
+//! order), and a deterministic (time, site, source) merge order.
 
-use crossbeam::channel;
 use vp_bgp::SiteId;
 use vp_net::{Ipv4Addr, SimTime};
 use vp_packet::IcmpMessage;
-use vp_sim::SiteCapture;
+use vp_sim::{ShardExecutor, SiteCapture};
 
 /// A reply as it arrives at the central analysis point: parsed, tagged with
 /// the capturing site.
@@ -45,29 +45,34 @@ pub fn parse_capture(cap: &SiteCapture) -> Option<RawReply> {
     }
 }
 
-/// Forwards per-site captures to a central aggregator, one worker thread
-/// per site, over a bounded channel — the concurrent collection pipeline
-/// of §3.1. The merged stream is returned sorted by `(time, site, src)` so
+/// Forwards per-site captures to a central aggregator, one worker per
+/// site on the blessed executor — the concurrent collection pipeline of
+/// §3.1. The merged stream is returned sorted by `(time, site, src)` so
 /// downstream processing is deterministic regardless of thread scheduling.
 pub fn forward_to_central(captures_by_site: Vec<Vec<SiteCapture>>) -> Vec<RawReply> {
-    let (tx, rx) = channel::bounded::<RawReply>(4096);
-    std::thread::scope(|scope| {
-        for site_caps in &captures_by_site {
-            let tx = tx.clone();
-            scope.spawn(move || {
-                for cap in site_caps {
-                    if let Some(reply) = parse_capture(cap) {
-                        // vp-lint: allow(h2): the receiver outlives the scope; send cannot fail.
-                        tx.send(reply).expect("central receiver alive");
-                    }
-                }
-            });
-        }
-        drop(tx);
-        let mut all: Vec<RawReply> = rx.iter().collect();
-        all.sort_by_key(|r| (r.at, r.site, r.src));
-        all
-    })
+    let sites = captures_by_site.len();
+    forward_to_central_on(&ShardExecutor::host_parallel(sites), captures_by_site)
+}
+
+/// [`forward_to_central`] with an explicit executor. The sharded scan
+/// path passes [`ShardExecutor::serial`] because it calls this from
+/// inside a shard worker thread, where nesting another pool would
+/// oversubscribe the host.
+pub fn forward_to_central_on(
+    exec: &ShardExecutor,
+    captures_by_site: Vec<Vec<SiteCapture>>,
+) -> Vec<RawReply> {
+    let per_site: Vec<Vec<RawReply>> = exec.run_sharded(captures_by_site.len(), |site| {
+        captures_by_site[site] // vp-lint: allow(g1): the executor only calls site < the number of site logs.
+            .iter()
+            .filter_map(parse_capture)
+            .collect()
+    });
+    // Site vectors come back in site-id order; the final sort makes the
+    // arrival timeline explicit and is total on (at, site, src).
+    let mut all: Vec<RawReply> = per_site.into_iter().flatten().collect();
+    all.sort_by_key(|r| (r.at, r.site, r.src));
+    all
 }
 
 /// Splits a flat capture log into per-site logs (what each site's capture

@@ -4,12 +4,12 @@ use vp_bgp::Announcement;
 use vp_hitlist::Hitlist;
 use vp_net::conv;
 use vp_net::{SimDuration, SimTime};
-use vp_sim::{CatchmentOracle, FaultConfig, NetworkSim};
+use vp_sim::{CatchmentOracle, FaultConfig, NetworkSim, ShardExecutor};
 use vp_topology::Internet;
 
 use crate::catchment::CatchmentMap;
 use crate::cleaning::{clean, CleaningStats};
-use crate::collector::{forward_to_central, split_by_site};
+use crate::collector::{forward_to_central, forward_to_central_on, split_by_site};
 use crate::prober::{ProbeConfig, Prober};
 use crate::rtt::RttTable;
 
@@ -293,9 +293,48 @@ pub fn run_scan(
 /// Merging happens in shard-index order, though the merge itself is
 /// order-insensitive (disjoint unions and commutative sums).
 ///
+/// Threading goes through the blessed [`ShardExecutor`] (DESIGN.md §14)
+/// bounded by the host's available parallelism; use
+/// [`run_scan_sharded_on`] to pin a specific worker count.
+///
 /// # Panics
 /// Panics if `shards` is zero.
 pub fn run_scan_sharded(
+    world: &Internet,
+    hitlist: &Hitlist,
+    announcement: &Announcement,
+    make_oracle: &(dyn Fn() -> Box<dyn CatchmentOracle> + Sync),
+    faults: FaultConfig,
+    start: SimTime,
+    config: &ScanConfig,
+    sim_seed: u64,
+    shards: usize,
+) -> ScanResult {
+    run_scan_sharded_on(
+        &ShardExecutor::host_parallel(shards),
+        world,
+        hitlist,
+        announcement,
+        make_oracle,
+        faults,
+        start,
+        config,
+        sim_seed,
+        shards,
+    )
+}
+
+/// [`run_scan_sharded`] with an explicit executor: callers (benchmarks,
+/// equivalence tests) pick how many OS threads run the shard engines,
+/// from fully inline ([`ShardExecutor::serial`]) to a fixed thread count
+/// ([`ShardExecutor::new`]). The result is bit-identical across all of
+/// them — the executor only schedules work, the merge below is always in
+/// shard-id order.
+///
+/// # Panics
+/// Panics if `shards` is zero.
+pub fn run_scan_sharded_on(
+    exec: &ShardExecutor,
     world: &Internet,
     hitlist: &Hitlist,
     announcement: &Announcement,
@@ -311,28 +350,28 @@ pub fn run_scan_sharded(
     let num_sites = announcement.sites.len();
 
     // Global schedule, identical to the serial path: pacing and payload
-    // indices must not depend on the shard count. One O(1)-memory prepass
-    // walk records send times and per-shard probe counts; **no packet is
-    // materialized here** — each shard engine re-walks the schedule and
-    // builds only its own contiguous slice, so peak probe storage is
-    // O(hitlist/K) per engine instead of O(hitlist) up front.
+    // indices must not depend on the shard count. One prepass walk records
+    // send times and slices the schedule per shard — each shard's
+    // `(index, at)` pairs in global walk order, 16 bytes per probe — so
+    // the engines never re-walk the schedule. Probe *packets* (payload
+    // bytes and all) are still materialized only inside the owning
+    // engine, at O(hitlist/K) packets per engine.
     let prober = Prober::new(config.probe.clone());
     let probes_sent = hitlist.len() as u64;
     let mut last_probe = start;
     let mut send_time = vec![SimTime::ZERO; hitlist.len()];
-    let mut shard_probe_counts = vec![0u64; shards];
+    let mut schedule_slices: Vec<Vec<(u64, SimTime)>> = vec![Vec::new(); shards];
     prober.walk_schedule(probes_sent, start, |index, at| {
         send_time[conv::sat_usize(index)] = at; // vp-lint: allow(g1): walk indices are a permutation of this hitlist's indices.
         last_probe = at;
-        shard_probe_counts[hitlist.shard_of(conv::sat_usize(index), shards)] += 1; // vp-lint: allow(g1): shard_of returns a value < shards by contract.
+        schedule_slices[hitlist.shard_of(conv::sat_usize(index), shards)].push((index, at)); // vp-lint: allow(g1): shard_of returns a value < shards by contract.
     });
 
-    // One engine per shard, executed on a worker pool bounded by the host's
-    // parallelism (a shard count far above the core count — even one per
-    // hitlist entry — must degrade gracefully, not spawn thousands of OS
-    // threads). Each engine gets the same round seed (keyed fault draws
-    // must agree with the serial engine) but a shard-distinct auxiliary
-    // RNG stream via `NetworkSim::new_shard`.
+    // One engine per shard, run on the blessed executor. Each engine gets
+    // the same round seed (keyed fault draws must agree with the serial
+    // engine) but a shard-distinct auxiliary RNG stream via
+    // `NetworkSim::new_shard`. The executor returns outcomes in shard-id
+    // order, so the merge below folds shard 0, 1, 2, … by construction.
     struct ShardOutcome {
         catchments: CatchmentMap,
         cleaning: CleaningStats,
@@ -345,94 +384,55 @@ pub fn run_scan_sharded(
         obs_registry: vp_obs::Registry,
         obs_trace: vp_obs::TraceSummary,
     }
-    let workers = std::thread::available_parallelism()
-        .map_or(1, |n| n.get())
-        .min(shards);
-    let mut batches: Vec<Vec<usize>> = (0..workers).map(|_| Vec::new()).collect();
-    for k in 0..shards {
-        batches[k % workers].push(k); // vp-lint: allow(g1): k % workers is always below workers, the length of batches.
-    }
-    let mut outcomes: Vec<(usize, ShardOutcome)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = batches
-            .into_iter()
-            .map(|batch| {
-                let faults = &faults;
-                let send_time = &send_time;
-                let prober = &prober;
-                let shard_probe_counts = &shard_probe_counts;
-                scope.spawn(move || {
-                    batch
-                        .into_iter()
-                        .map(|k| {
-                            let mut sim =
-                                NetworkSim::new_shard(world, faults.clone(), sim_seed, k as u64);
-                            sim.attach_obs(config.trace);
-                            let svc =
-                                sim.register_service(announcement.clone(), make_oracle(), false);
-                            let probes = shard_probe_counts[k]; // vp-lint: allow(g1): k < shards, the length of shard_probe_counts.
-                            // Re-walk the global schedule and materialize
-                            // only this shard's probes: identical send
-                            // times and payloads to the serial path, at
-                            // O(shard) packet memory.
-                            prober.walk_schedule(hitlist.len() as u64, start, |index, at| {
-                                if hitlist.shard_of(conv::sat_usize(index), shards) == k {
-                                    sim.send_at(at, prober.build_probe(hitlist, index, source));
-                                }
-                            });
-                            sim.run();
+    let outcomes: Vec<ShardOutcome> = exec.run_sharded(shards, |k| {
+        let mut sim = NetworkSim::new_shard(world, faults.clone(), sim_seed, k as u64);
+        sim.attach_obs(config.trace);
+        let svc = sim.register_service(announcement.clone(), make_oracle(), false);
+        // Replay this shard's slice of the global schedule: identical
+        // send times and payload indices to the serial path, in the same
+        // (global walk) injection order the serial engine saw.
+        let slice = &schedule_slices[k]; // vp-lint: allow(g1): the executor only calls k < shards, the length of schedule_slices.
+        let probes = slice.len() as u64;
+        for &(index, at) in slice {
+            sim.send_at(at, prober.build_probe(hitlist, index, source));
+        }
+        sim.run();
 
-                            let captures = sim.take_captures(svc);
-                            let by_site = split_by_site(captures, num_sites);
-                            let central = forward_to_central(by_site);
-                            let (clean_replies, cleaning) = clean(
-                                &central,
-                                hitlist,
-                                config.probe.ident,
-                                start,
-                                config.cutoff,
-                            );
-                            let catchments =
-                                CatchmentMap::from_replies(&config.name, &clean_replies, hitlist);
-                            let rtts = RttTable::from_pairs(clean_replies.iter().map(|r| {
-                                let block = hitlist.entry(conv::sat_usize(r.index)).block;
-                                (block, r.at.since(send_time[conv::sat_usize(r.index)])) // vp-lint: allow(g1): send_time is sized to the hitlist that minted r.index.
-                            }));
-                            let sim_end = sim.now();
-                            let (obs_registry, obs_trace) = match sim.take_obs() {
-                                Some(engine_obs) => {
-                                    let trace = engine_obs.tracer.drain();
-                                    (engine_obs.registry, trace)
-                                }
-                                None => Default::default(),
-                            };
-                            (
-                                k,
-                                ShardOutcome {
-                                    catchments,
-                                    cleaning,
-                                    rtts,
-                                    sim_stats: sim.stats(),
-                                    probes,
-                                    sim_end,
-                                    obs_registry,
-                                    obs_trace,
-                                },
-                            )
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            // vp-lint: allow(h2): a worker panic must propagate, not be swallowed.
-            .flat_map(|h| h.join().expect("shard engine thread panicked"))
-            .collect()
+        let captures = sim.take_captures(svc);
+        let by_site = split_by_site(captures, num_sites);
+        // Serial site forwarding: this closure is already on a shard
+        // worker thread; nesting another pool would oversubscribe.
+        let central = forward_to_central_on(&ShardExecutor::serial(), by_site);
+        let (clean_replies, cleaning) =
+            clean(&central, hitlist, config.probe.ident, start, config.cutoff);
+        let catchments = CatchmentMap::from_replies(&config.name, &clean_replies, hitlist);
+        let rtts = RttTable::from_pairs(clean_replies.iter().map(|r| {
+            let block = hitlist.entry(conv::sat_usize(r.index)).block;
+            (block, r.at.since(send_time[conv::sat_usize(r.index)])) // vp-lint: allow(g1): send_time is sized to the hitlist that minted r.index.
+        }));
+        let sim_end = sim.now();
+        let (obs_registry, obs_trace) = match sim.take_obs() {
+            Some(engine_obs) => {
+                let trace = engine_obs.tracer.drain();
+                (engine_obs.registry, trace)
+            }
+            None => Default::default(),
+        };
+        ShardOutcome {
+            catchments,
+            cleaning,
+            rtts,
+            sim_stats: sim.stats(),
+            probes,
+            sim_end,
+            obs_registry,
+            obs_trace,
+        }
     });
-    outcomes.sort_by_key(|(k, _)| *k);
 
-    // Deterministic merge in shard-index order. The shards cover disjoint
-    // hitlist slices, so the unions are disjoint and the sums exact.
+    // Deterministic merge in shard-index order (the executor's output
+    // order). The shards cover disjoint hitlist slices, so the unions are
+    // disjoint and the sums exact.
     let mut catchments = CatchmentMap::from_pairs(&config.name, std::iter::empty());
     let mut cleaning = CleaningStats::default();
     let mut rtts = RttTable::default();
@@ -440,7 +440,7 @@ pub fn run_scan_sharded(
     let mut sim_end = SimTime::ZERO;
     let mut shard_probes = Vec::with_capacity(outcomes.len());
     let mut engines = Vec::with_capacity(outcomes.len());
-    for (_, o) in &outcomes {
+    for o in &outcomes {
         catchments.merge(&o.catchments);
         cleaning.merge(&o.cleaning);
         rtts.merge(&o.rtts);

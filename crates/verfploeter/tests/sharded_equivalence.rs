@@ -3,9 +3,13 @@
 //! The contract under test: `run_scan_sharded(K)` returns a `ScanResult`
 //! **bit-identical** to `run_scan` — same catchment map, same cleaning
 //! counters, same per-block RTTs, same simulator stats — for every shard
-//! count K and every fault configuration. A scan result that depends on
-//! how the work was scheduled would make parallel rounds incomparable to
-//! the serial datasets, so any divergence here is a release blocker.
+//! count K and every fault configuration, whether the shard engines run
+//! inline or on real OS threads (`ShardExecutor::new(K)` forces one
+//! thread per shard, so the matrix exercises genuine preemption and the
+//! shard-id-ordered merge barrier of DESIGN.md §14). A scan result that
+//! depends on how the work was scheduled would make parallel rounds
+//! incomparable to the serial datasets, so any divergence here is a
+//! release blocker.
 //!
 //! Alongside the end-to-end equivalence matrix, property tests check the
 //! algebra the merge relies on: disjoint-map merging and counter merging
@@ -15,11 +19,12 @@ use proptest::prelude::*;
 use vp_bgp::SiteId;
 use vp_hitlist::{Hitlist, HitlistConfig};
 use vp_net::{Block24, SimDuration, SimTime};
+use vp_sim::exec::ShardExecutor;
 use vp_sim::{FaultConfig, Scenario, StaticOracle};
 use vp_topology::TopologyConfig;
 use verfploeter::catchment::CatchmentMap;
 use verfploeter::cleaning::CleaningStats;
-use verfploeter::scan::{run_scan, run_scan_sharded, ScanConfig, ScanResult};
+use verfploeter::scan::{run_scan, run_scan_sharded_on, ScanConfig, ScanResult};
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 7, 16];
 
@@ -109,18 +114,31 @@ fn equivalence_matrix(scenario: &Scenario, hitlist: &Hitlist, seed: u64) {
             assert!(serial.cleaning.unprobed_source > 0, "no aliases injected");
         }
         for shards in SHARD_COUNTS {
-            let sharded = run_scan_sharded(
-                &scenario.world,
-                hitlist,
-                &scenario.announcement,
-                &|| Box::new(StaticOracle::new(scenario.routing())),
-                faults.clone(),
-                SimTime::ZERO,
-                &ScanConfig::default(),
-                seed,
-                shards,
-            );
-            assert_identical(&serial, &sharded, &format!("{fault_name}/K={shards}"));
+            // Inline executor isolates the sharding algebra; the forced
+            // K-thread executor adds real OS-thread scheduling on top.
+            // Both must reproduce the serial bytes.
+            for (mode, exec) in [
+                ("inline", ShardExecutor::serial()),
+                ("threads", ShardExecutor::new(shards)),
+            ] {
+                let sharded = run_scan_sharded_on(
+                    &exec,
+                    &scenario.world,
+                    hitlist,
+                    &scenario.announcement,
+                    &|| Box::new(StaticOracle::new(scenario.routing())),
+                    faults.clone(),
+                    SimTime::ZERO,
+                    &ScanConfig::default(),
+                    seed,
+                    shards,
+                );
+                assert_identical(
+                    &serial,
+                    &sharded,
+                    &format!("{fault_name}/K={shards}/{mode}"),
+                );
+            }
         }
     }
 }
@@ -159,7 +177,10 @@ fn more_shards_than_targets_still_identical() {
         &ScanConfig::default(),
         3,
     );
-    let sharded = run_scan_sharded(
+    // Eight OS threads over mostly-empty shards: the barrier must still
+    // drain every shard channel in id order and land on the serial bytes.
+    let sharded = run_scan_sharded_on(
+        &ShardExecutor::new(8),
         &s.world,
         &hl,
         &s.announcement,

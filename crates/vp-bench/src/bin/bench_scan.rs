@@ -3,11 +3,16 @@
 //! Runs the benchmark scan serially and at K ∈ {2, 4, 8} shards at one or
 //! more hitlist scales (`--targets 15000,100000`), folds the per-rep wall
 //! times into a [`vp_obs::Histogram`] (the same type the run reports use),
-//! and writes median/p90 per (targets, K) to `BENCH_scan.json` so future
-//! PRs have a perf trajectory to compare against (`vp-monitor check-bench`
-//! gates on it). Every rep also cross-checks that the sharded catchment
-//! map stays bit-identical to the serial one — a benchmark of a wrong
-//! result would be worse than no benchmark.
+//! and writes median/p90 per (targets, K, threaded) to `BENCH_scan.json`
+//! so future PRs have a perf trajectory to compare against (`vp-monitor
+//! check-bench` gates on it). Sharded counts run twice: once on the
+//! inline executor (`threaded: false` — the pure sharding overhead) and
+//! once on OS threads via the blessed [`ShardExecutor`] (`threaded:
+//! true`, workers = min(K, 8)). Every rep also cross-checks that the
+//! sharded catchment map and metrics registry stay bit-identical to the
+//! serial one — a benchmark of a wrong result would be worse than no
+//! benchmark, and for the threaded rows the cross-check doubles as the
+//! DESIGN.md §7/§14 determinism witness under real preemption.
 //!
 //! Each scale builds its scenario and hitlist **once** and reuses them
 //! across reps and shard counts: the benchmark times the scan engine, not
@@ -40,10 +45,15 @@ use vp_bench::{bench_hitlist, bench_scenario_scaled};
 use vp_hitlist::Hitlist;
 use vp_net::SimTime;
 use vp_obs::Histogram;
+use vp_sim::exec::ShardExecutor;
 use vp_sim::{CatchmentOracle, FaultConfig, Scenario, StaticOracle};
-use verfploeter::scan::{run_scan, run_scan_sharded, ScanConfig, ScanResult};
+use verfploeter::scan::{run_scan, run_scan_sharded_on, ScanConfig, ScanResult};
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Worker cap for the threaded rows: keeps the artifact comparable
+/// across hosts with more cores than the committed baselines' machine.
+const MAX_WORKERS: usize = 8;
 
 /// 1ms → ~90min in ×1.5 steps: fine enough that median/p90 of a scan
 /// that takes tens of ms to seconds land in distinct buckets.
@@ -51,11 +61,17 @@ fn wall_time_buckets() -> Vec<u64> {
     Histogram::exponential(1_000_000, 3, 2, 40).bounds().to_vec()
 }
 
-fn scan_once(s: &Scenario, hl: &Hitlist, shards: usize, seed: u64) -> (ScanResult, u64) {
+fn scan_once(
+    s: &Scenario,
+    hl: &Hitlist,
+    shards: usize,
+    threaded: bool,
+    seed: u64,
+) -> (ScanResult, u64) {
     let table = s.routing();
     let config = ScanConfig::default();
     let start = Instant::now();
-    let result = if shards == 1 {
+    let result = if shards == 1 && !threaded {
         run_scan(
             &s.world,
             hl,
@@ -67,7 +83,16 @@ fn scan_once(s: &Scenario, hl: &Hitlist, shards: usize, seed: u64) -> (ScanResul
             seed,
         )
     } else {
-        run_scan_sharded(
+        // Inline executor for the `threaded: false` rows so the pure
+        // sharding overhead is measured identically on every host;
+        // K-thread executor (capped) for the `threaded: true` rows.
+        let exec = if threaded {
+            ShardExecutor::new(shards.min(MAX_WORKERS))
+        } else {
+            ShardExecutor::serial()
+        };
+        run_scan_sharded_on(
+            &exec,
             &s.world,
             hl,
             &s.announcement,
@@ -167,7 +192,7 @@ fn main() {
         let s = bench_scenario_scaled(33, scale);
         let hl = bench_hitlist(&s);
         // Fixed reference for the bit-identity cross-check (and a warmup).
-        let (reference, _) = scan_once(&s, &hl, 1, 0xbe9c);
+        let (reference, _) = scan_once(&s, &hl, 1, false, 0xbe9c);
         let targets = reference.probes_sent;
         assert_eq!(
             targets, scale as u64,
@@ -177,39 +202,47 @@ fn main() {
         first_scale_targets.get_or_insert(targets);
         println!("  targets={targets}");
         for shards in SHARD_COUNTS {
-            let mut hist = Histogram::new(wall_time_buckets());
-            for rep in 0..reps {
-                let (result, wall) = scan_once(&s, &hl, shards, 0xbe9c);
-                assert_eq!(
-                    result.catchments.len(),
-                    reference.catchments.len(),
-                    "targets={targets} K={shards} rep={rep}: catchment map diverged from serial"
+            // K=1 threaded would measure the same inline path twice.
+            let modes: &[bool] = if shards == 1 { &[false] } else { &[false, true] };
+            for &threaded in modes {
+                let mut hist = Histogram::new(wall_time_buckets());
+                for rep in 0..reps {
+                    let (result, wall) = scan_once(&s, &hl, shards, threaded, 0xbe9c);
+                    assert_eq!(
+                        result.catchments.len(),
+                        reference.catchments.len(),
+                        "targets={targets} K={shards} threaded={threaded} rep={rep}: \
+                         catchment map diverged from serial"
+                    );
+                    assert_eq!(
+                        result.obs.registry.to_canonical_json(),
+                        reference.obs.registry.to_canonical_json(),
+                        "targets={targets} K={shards} threaded={threaded} rep={rep}: \
+                         metrics registry diverged from serial"
+                    );
+                    hist.observe(wall);
+                }
+                let median = hist.quantile_interpolated(0.5);
+                let p90 = hist.quantile_interpolated(0.9);
+                println!(
+                    "    K={shards}{}: median {:.1}ms  p90 {:.1}ms  (min {:.1}ms, max {:.1}ms)",
+                    if threaded { " threaded" } else { "" },
+                    median as f64 / 1e6,
+                    p90 as f64 / 1e6,
+                    hist.min() as f64 / 1e6,
+                    hist.max() as f64 / 1e6,
                 );
-                assert_eq!(
-                    result.obs.registry.to_canonical_json(),
-                    reference.obs.registry.to_canonical_json(),
-                    "targets={targets} K={shards} rep={rep}: metrics registry diverged from serial"
-                );
-                hist.observe(wall);
+                let mut entry = BTreeMap::new();
+                entry.insert("targets".to_owned(), Value::U64(targets));
+                entry.insert("shards".to_owned(), Value::U64(shards as u64));
+                entry.insert("threaded".to_owned(), Value::Bool(threaded));
+                entry.insert("reps".to_owned(), Value::U64(reps as u64));
+                entry.insert("median_ns".to_owned(), Value::U64(median));
+                entry.insert("p90_ns".to_owned(), Value::U64(p90));
+                entry.insert("min_ns".to_owned(), Value::U64(hist.min()));
+                entry.insert("max_ns".to_owned(), Value::U64(hist.max()));
+                series.push(Value::Object(entry));
             }
-            let median = hist.quantile_interpolated(0.5);
-            let p90 = hist.quantile_interpolated(0.9);
-            println!(
-                "    K={shards}: median {:.1}ms  p90 {:.1}ms  (min {:.1}ms, max {:.1}ms)",
-                median as f64 / 1e6,
-                p90 as f64 / 1e6,
-                hist.min() as f64 / 1e6,
-                hist.max() as f64 / 1e6,
-            );
-            let mut entry = BTreeMap::new();
-            entry.insert("targets".to_owned(), Value::U64(targets));
-            entry.insert("shards".to_owned(), Value::U64(shards as u64));
-            entry.insert("reps".to_owned(), Value::U64(reps as u64));
-            entry.insert("median_ns".to_owned(), Value::U64(median));
-            entry.insert("p90_ns".to_owned(), Value::U64(p90));
-            entry.insert("min_ns".to_owned(), Value::U64(hist.min()));
-            entry.insert("max_ns".to_owned(), Value::U64(hist.max()));
-            series.push(Value::Object(entry));
         }
     }
 

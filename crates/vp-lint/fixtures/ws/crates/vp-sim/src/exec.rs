@@ -1,0 +1,11 @@
+//! Fixture stand-in for the blessed shard executor. Its path matches
+//! `rules::BLESSED_EXECUTOR_FILE`, so (a) the `thread::spawn` below is
+//! exempt from rule c5, and (b) every fn in conc.rs that calls
+//! `run_sharded` becomes a parallel-region entry for rules c1–c4. This
+//! file is fixture input for the lint gate; it is never compiled.
+
+pub fn run_sharded(shards: usize) -> usize {
+    let worker = std::thread::spawn(move || shards);
+    drop(worker);
+    shards
+}

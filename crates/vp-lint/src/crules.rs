@@ -1,0 +1,413 @@
+//! The concurrency rules: layer four of the graph engine.
+//!
+//! | id | rule |
+//! |----|------|
+//! | c1 | no fn in the parallel region may transitively reach shared mutable state: `static mut`, a non-`Sync` static, or a `Cell` / `RefCell` / `UnsafeCell` construction |
+//! | c2 | the lock-acquisition order over the parallel region must be acyclic — any cycle is a deadlock witness |
+//! | c3 | no fn in the parallel region may block (`recv` / `join` / `lock`) while a `let`-bound lock guard is live |
+//! | c4 | cross-thread results must be folded in shard-id order, not channel-arrival order: a non-indexed `recv` loop that merges is a nondeterministic fold |
+//! | c5 | `thread::spawn` / `thread::scope` only inside the blessed executor ([`crate::rules::BLESSED_EXECUTOR_FILE`]) — a token rule, evaluated in [`crate::rules`] |
+//!
+//! ## The parallel region
+//!
+//! The region is computed from the call graph, not annotated. The
+//! **blessed nodes** are every fn defined in the blessed executor file.
+//! An **entry** is any non-blessed fn with a call edge into a blessed
+//! node — lexically, that is a fn that invokes `run_sharded` (or any
+//! executor API), so the closure it passes runs on worker threads and
+//! its body's calls are attributed to the entry itself. The region is
+//! the forward closure of the entries, *excluding* the blessed nodes
+//! (the executor's own internals are the vouched-for trusted base —
+//! that is what "blessed" buys).
+//!
+//! c1 is reported at region entries with a g1-style witness path; c2 is
+//! a cycle over the interprocedural lock-acquisition graph of the
+//! region; c3 is resolved intraprocedurally at index time and filtered
+//! to the region here; c4 combines an intraprocedural form (a `.merge(`
+//! in the recv loop itself) with an interprocedural one (a loop-body
+//! call that reaches a fn named `merge`).
+//!
+//! Suppression model (mirrors g1/g2):
+//! * line allows are consumed at **index time**: `allow(c1)` on the
+//!   hazard or static line, `allow(c2)` on the acquisition, `allow(c3)`
+//!   on the blocking call, `allow(c4)` on the receive;
+//! * on a **fn definition line**: `allow(c1)` marks the fn's state
+//!   thread-confined (taint does not propagate out), `allow(c2)`
+//!   excludes the fn's acquisitions from the lock-order graph. The
+//!   fn-level allow is live (for g3) only if the fn is in the region
+//!   and the audit actually removed something.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::Graph;
+use crate::grules::{propagate, witness_path, Witness};
+use crate::index::FileIndex;
+use crate::rules::{Finding, RuleId, BLESSED_EXECUTOR_FILE};
+
+/// The parallel region: entries (fns that hand a closure to the blessed
+/// executor) and everything reachable from them, minus the executor
+/// itself.
+pub struct Region {
+    /// Node indices with a call edge into the blessed file.
+    pub entries: Vec<usize>,
+    /// Forward closure of the entries (includes them), blessed excluded.
+    pub members: BTreeSet<usize>,
+}
+
+/// Computes the parallel region from the call graph.
+pub fn parallel_region(g: &Graph) -> Region {
+    let blessed: BTreeSet<usize> = (0..g.nodes.len())
+        .filter(|&i| g.nodes[i].file == BLESSED_EXECUTOR_FILE)
+        .collect();
+    let mut entries: Vec<usize> = Vec::new();
+    for i in 0..g.nodes.len() {
+        if blessed.contains(&i) {
+            continue;
+        }
+        if g.edges[i].iter().any(|e| blessed.contains(&e.callee)) {
+            entries.push(i);
+        }
+    }
+    let mut members: BTreeSet<usize> = BTreeSet::new();
+    let mut stack: Vec<usize> = entries.clone();
+    while let Some(i) = stack.pop() {
+        if blessed.contains(&i) || !members.insert(i) {
+            continue;
+        }
+        for e in &g.edges[i] {
+            if !members.contains(&e.callee) {
+                stack.push(e.callee);
+            }
+        }
+    }
+    Region { entries, members }
+}
+
+/// Transitive lock names acquired at or below each node. Audited (c2)
+/// nodes contribute nothing and do not propagate — their subtree is
+/// vouched cycle-free, exactly like an audited node in g1 taint.
+fn transitive_locks(g: &Graph) -> Vec<BTreeSet<String>> {
+    let n = g.nodes.len();
+    let mut locks: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    for i in 0..n {
+        if g.nodes[i].info.audited_c2 {
+            continue;
+        }
+        for l in &g.nodes[i].info.locks {
+            locks[i].insert(l.lock.clone());
+        }
+    }
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if g.nodes[i].info.audited_c2 {
+                continue;
+            }
+            for k in 0..g.edges[i].len() {
+                let callee = g.edges[i][k].callee;
+                if callee == i {
+                    continue;
+                }
+                let add: Vec<String> = locks[callee]
+                    .iter()
+                    .filter(|l| !locks[i].contains(*l))
+                    .cloned()
+                    .collect();
+                if !add.is_empty() {
+                    locks[i].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    locks
+}
+
+/// Finds a cycle through `start` in the lock-order graph, if any.
+/// Deterministic: neighbours are visited in `BTreeSet` order.
+fn cycle_from(
+    order: &BTreeMap<String, BTreeSet<String>>,
+    start: &str,
+    cur: &str,
+    path: &mut Vec<String>,
+    seen: &mut BTreeSet<String>,
+) -> bool {
+    let Some(nexts) = order.get(cur) else { return false };
+    for next in nexts {
+        if next == start {
+            path.push(next.clone());
+            return true;
+        }
+        if seen.insert(next.clone()) {
+            path.push(next.clone());
+            if cycle_from(order, start, next, path, seen) {
+                return true;
+            }
+            path.pop();
+        }
+    }
+    false
+}
+
+/// Evaluates c1–c4 over the graph and per-file indexes. Returns findings
+/// plus the `(file, line, rule)` fn-level allow usages (feeds rule g3).
+pub fn evaluate(g: &Graph, indexes: &[FileIndex]) -> (Vec<Finding>, Vec<(String, usize, RuleId)>) {
+    let mut findings = Vec::new();
+    let mut used: Vec<(String, usize, RuleId)> = Vec::new();
+
+    let region = parallel_region(g);
+    if region.entries.is_empty() {
+        return (findings, used);
+    }
+
+    // ---- c1: shared mutable state reachable from the region ----------
+    let t1 = propagate(
+        g,
+        |i| g.nodes[i].info.audited_c1,
+        |i| {
+            g.nodes[i]
+                .info
+                .hazards
+                .iter()
+                .min_by_key(|h| (h.line, h.col))
+                .map(|h| Witness::Local(h.what.clone(), h.line, h.col))
+        },
+    );
+    for &i in &region.members {
+        let n = &g.nodes[i];
+        if n.info.audited_c1 && t1.would_reach[i].is_some() {
+            used.push((n.file.clone(), n.info.line, RuleId::C1));
+        }
+    }
+    for &i in &region.entries {
+        let n = &g.nodes[i];
+        if !n.info.audited_c1 {
+            if t1.reach[i].is_some() {
+                let witness = witness_path(g, &t1, i);
+                findings.push(Finding {
+                    file: n.file.clone(),
+                    line: n.info.line,
+                    col: n.info.col,
+                    rule: RuleId::C1,
+                    message: format!(
+                        "parallel region entered at `{}` reaches shared mutable state: {}",
+                        n.id,
+                        witness.join(" -> ")
+                    ),
+                    witness,
+                });
+            }
+        }
+    }
+    // File-scoped statics: a `static mut` / non-`Sync` static is reachable
+    // by every fn in its file, so it fires when any of them is in the
+    // region (the static itself carries no call edges).
+    let region_files: BTreeSet<&str> = region
+        .members
+        .iter()
+        .map(|&i| g.nodes[i].file.as_str())
+        .collect();
+    for fx in indexes {
+        if !region_files.contains(fx.file.as_str()) {
+            continue;
+        }
+        for h in &fx.statics {
+            findings.push(Finding {
+                file: fx.file.clone(),
+                line: h.line,
+                col: h.col,
+                rule: RuleId::C1,
+                message: format!(
+                    "`{}` is shared mutable state in a file whose fns run in the parallel region",
+                    h.what
+                ),
+                witness: vec![format!("{} ({}:{})", h.what, fx.file, h.line)],
+            });
+        }
+    }
+
+    // ---- c2: lock-order cycles over the region -----------------------
+    let trans = transitive_locks(g);
+    // lock -> locks acquired while it is (lexically) already acquired.
+    let mut order: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    // lock -> its first acquisition site in the region, for anchoring.
+    let mut first_acq: BTreeMap<String, (String, usize, usize, String)> = BTreeMap::new();
+    for &i in &region.members {
+        let n = &g.nodes[i];
+        if n.info.audited_c2 {
+            if !n.info.locks.is_empty() {
+                used.push((n.file.clone(), n.info.line, RuleId::C2));
+            }
+            continue;
+        }
+        let mut acqs: Vec<_> = n.info.locks.clone();
+        acqs.sort_by_key(|l| (l.line, l.col));
+        for l in &acqs {
+            let key = (n.file.clone(), l.line, l.col, n.id.clone());
+            let e = first_acq.entry(l.lock.clone()).or_insert_with(|| key.clone());
+            if key < *e {
+                *e = key;
+            }
+        }
+        // Intra-fn: every later acquisition orders after every earlier one.
+        for a in 0..acqs.len() {
+            for b in (a + 1)..acqs.len() {
+                if acqs[a].lock != acqs[b].lock {
+                    order
+                        .entry(acqs[a].lock.clone())
+                        .or_default()
+                        .insert(acqs[b].lock.clone());
+                }
+            }
+        }
+        // Interprocedural: a call positioned after an acquisition may
+        // acquire the callee's transitive locks while ours is held.
+        for a in &acqs {
+            for e in &g.edges[i] {
+                if (e.line, e.col) <= (a.line, a.col) {
+                    continue;
+                }
+                for l in &trans[e.callee] {
+                    if *l != a.lock {
+                        order.entry(a.lock.clone()).or_default().insert(l.clone());
+                    }
+                }
+            }
+        }
+    }
+    let mut reported_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in order.keys() {
+        let mut path = vec![start.clone()];
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        seen.insert(start.clone());
+        if cycle_from(&order, start, start, &mut path, &mut seen) {
+            let mut key: Vec<String> = path[..path.len() - 1].to_vec();
+            key.sort();
+            if !reported_cycles.insert(key) {
+                continue;
+            }
+            // `start` is the smallest member of this cycle (keys iterate
+            // in sorted order and every member reaches itself), so the
+            // finding anchors at its first acquisition.
+            if let Some((file, line, col, fn_id)) = first_acq.get(start) {
+                let witness: Vec<String> = path
+                    .iter()
+                    .map(|l| match first_acq.get(l) {
+                        Some((f, ln, _, id)) => format!("`{l}` in {id} ({f}:{ln})"),
+                        None => format!("`{l}`"),
+                    })
+                    .collect();
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: *line,
+                    col: *col,
+                    rule: RuleId::C2,
+                    message: format!(
+                        "lock-order cycle in the parallel region — two shards can deadlock: {}",
+                        path.iter().map(|l| format!("`{l}`")).collect::<Vec<_>>().join(" -> ")
+                    ),
+                    witness,
+                });
+                let _ = fn_id;
+            }
+        }
+    }
+
+    // ---- c3: blocking while a guard is live (region-filtered) --------
+    for &i in &region.members {
+        let n = &g.nodes[i];
+        for b in &n.info.blocked_guards {
+            findings.push(Finding {
+                file: n.file.clone(),
+                line: b.line,
+                col: b.col,
+                rule: RuleId::C3,
+                message: format!(
+                    "`{}` blocks while the `{}` guard (line {}) is live in the parallel \
+                     region — drop the guard before blocking",
+                    b.what, b.guard_lock, b.guard_line
+                ),
+                witness: vec![
+                    format!("guard of `{}` taken ({}:{})", b.guard_lock, n.file, b.guard_line),
+                    format!("{} blocks ({}:{})", b.what, n.file, b.line),
+                ],
+            });
+        }
+    }
+
+    // ---- c4: arrival-order folds -------------------------------------
+    // Interprocedural half: does a callee reach a fn named `merge`?
+    let tm = propagate(
+        g,
+        |_| false,
+        |i| {
+            let inf = &g.nodes[i].info;
+            (inf.name == "merge")
+                .then(|| Witness::Local(format!("fn {}", g.nodes[i].id), inf.line, inf.col))
+        },
+    );
+    for &i in &region.members {
+        let n = &g.nodes[i];
+        for rl in &n.info.recv_loops {
+            if let Some((ml, _mc)) = rl.merge {
+                findings.push(Finding {
+                    file: n.file.clone(),
+                    line: rl.recv_line,
+                    col: rl.recv_col,
+                    rule: RuleId::C4,
+                    message: format!(
+                        "`{}` loop folds results in channel-arrival order (`.merge(` on \
+                         line {ml}) — receive per shard id (`rx[k].recv()`) so the fold \
+                         order is deterministic",
+                        rl.recv_what
+                    ),
+                    witness: vec![
+                        format!("{} in loop ({}:{})", rl.recv_what, n.file, rl.recv_line),
+                        format!("merge ({}:{ml})", n.file),
+                    ],
+                });
+                continue;
+            }
+            let mut best: Option<usize> = None;
+            for e in &g.edges[i] {
+                if e.line < rl.start_line || e.line > rl.end_line {
+                    continue;
+                }
+                if tm.reach[e.callee].is_some() {
+                    let better = match best {
+                        None => true,
+                        Some(b) => g.nodes[e.callee].id < g.nodes[b].id,
+                    };
+                    if better {
+                        best = Some(e.callee);
+                    }
+                }
+            }
+            if let Some(callee) = best {
+                let mut witness = vec![format!(
+                    "{} in loop ({}:{})",
+                    rl.recv_what, n.file, rl.recv_line
+                )];
+                witness.extend(witness_path(g, &tm, callee));
+                findings.push(Finding {
+                    file: n.file.clone(),
+                    line: rl.recv_line,
+                    col: rl.recv_col,
+                    rule: RuleId::C4,
+                    message: format!(
+                        "`{}` loop folds results in channel-arrival order: {} — receive \
+                         per shard id so the fold order is deterministic",
+                        rl.recv_what,
+                        witness.join(" -> ")
+                    ),
+                    witness,
+                });
+            }
+        }
+    }
+
+    (findings, used)
+}

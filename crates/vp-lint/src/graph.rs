@@ -194,6 +194,21 @@ impl Graph {
                 }
 
                 let Some(last) = path.last() else { continue };
+                // `vp_obs::Tracer::new` reaches `vp_obs::trace::Tracer::new`
+                // through a crate-root `pub use`; the written path is then
+                // not a segment suffix of the definition's. When the head
+                // names a workspace crate, retry the match inside that
+                // crate with the head stripped.
+                let head_crate: Option<&str> = path
+                    .first()
+                    .map(String::as_str)
+                    .filter(|_| !call.method && path.len() > 1)
+                    .and_then(|h| {
+                        g.nodes
+                            .iter()
+                            .map(|n| n.crate_name.as_str())
+                            .find(|c| c.replace('-', "_") == h)
+                    });
                 let mut candidates: Vec<usize> = Vec::new();
                 if let Some(cands) = by_name.get(last.as_str()) {
                     for &ci in cands {
@@ -206,6 +221,10 @@ impl Graph {
                         if call.method || path.len() == 1 {
                             candidates.push(ci);
                         } else if suffix_match(&cand.info.path_segments(), &path) {
+                            candidates.push(ci);
+                        } else if head_crate == Some(cand.crate_name.as_str())
+                            && suffix_match(&cand.info.path_segments(), &path[1..])
+                        {
                             candidates.push(ci);
                         }
                     }

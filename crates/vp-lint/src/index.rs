@@ -58,6 +58,62 @@ pub struct NondetSource {
     pub col: usize,
 }
 
+/// Shared-mutable-state evidence inside a fn body (rule c1): an
+/// interior-mutability type named in the body (`Cell`/`RefCell`/
+/// `UnsafeCell` — constructors and type ascriptions) or a `static mut`.
+#[derive(Debug, Clone)]
+pub struct Hazard {
+    /// e.g. `RefCell`, `static mut COUNTER`.
+    pub what: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// A lock acquisition `recv.lock()` inside a fn body (rules c2/c3). The
+/// lock's identity is the receiver identifier — purely lexical, which is
+/// exactly as precise as the rest of the index: two fields with the same
+/// name are conservatively the same lock.
+#[derive(Debug, Clone)]
+pub struct LockAcq {
+    pub lock: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// A blocking call (`recv`/`join`/`lock`) evaluated while a `let`-bound
+/// lock guard is still live in the same fn body (rule c3). Fully resolved
+/// at index time — the rule is intraprocedural.
+#[derive(Debug, Clone)]
+pub struct BlockingUnderGuard {
+    /// The blocking call, e.g. `recv()`.
+    pub what: String,
+    /// The lock whose guard is live.
+    pub guard_lock: String,
+    pub guard_line: usize,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// A loop whose body (or header — `while let Ok(x) = rx.recv()`) receives
+/// from a channel that is **not** indexed by shard id (rule c4). If the
+/// same loop also calls `merge`, results are being folded in channel
+/// arrival order; the interprocedural half (a loop-body call that reaches
+/// a fn named `merge`) is resolved in [`crate::crules`] via `start_line`/
+/// `end_line` against the call graph.
+#[derive(Debug, Clone)]
+pub struct RecvLoop {
+    /// The receive call, e.g. `recv()`.
+    pub recv_what: String,
+    pub recv_line: usize,
+    pub recv_col: usize,
+    /// Line of the `for`/`while`/`loop` keyword.
+    pub start_line: usize,
+    /// Line of the loop's closing brace.
+    pub end_line: usize,
+    /// A direct `.merge(` inside the same loop, if any.
+    pub merge: Option<(usize, usize)>,
+}
+
 /// A call site inside a fn body.
 #[derive(Debug, Clone)]
 pub struct Call {
@@ -89,9 +145,20 @@ pub struct FnInfo {
     pub audited_g1: bool,
     /// `vp-lint: allow(g2)` on the definition line: audited deterministic.
     pub audited_g2: bool,
+    /// `vp-lint: allow(c1)` on the definition line: shared-mutable state
+    /// in (or below) this fn is vouched thread-confined.
+    pub audited_c1: bool,
+    /// `vp-lint: allow(c2)` on the definition line: this fn's lock
+    /// acquisitions are vouched cycle-free and excluded from the
+    /// lock-order graph.
+    pub audited_c2: bool,
     pub calls: Vec<Call>,
     pub sinks: Vec<Sink>,
     pub sources: Vec<NondetSource>,
+    pub hazards: Vec<Hazard>,
+    pub locks: Vec<LockAcq>,
+    pub blocked_guards: Vec<BlockingUnderGuard>,
+    pub recv_loops: Vec<RecvLoop>,
 }
 
 impl FnInfo {
@@ -143,6 +210,10 @@ pub struct FileIndex {
     pub types: Vec<TypeDecl>,
     /// `use` aliases: local name → full path segments.
     pub uses: BTreeMap<String, Vec<String>>,
+    /// File-level `static mut` / interior-mutability statics (rule c1):
+    /// reachable by anything in the file, so attributed to the file, not
+    /// to a fn.
+    pub statics: Vec<Hazard>,
     /// `(line, rule)` pairs for allow directives the indexer consumed
     /// (g1 on a sink line, g2 on a source line) — feeds rule g3.
     pub used_allows: Vec<(usize, RuleId)>,
@@ -189,6 +260,40 @@ fn is_keyword(s: &str) -> bool {
 
 const SINK_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 const SINK_METHODS: [&str; 2] = ["unwrap", "expect"];
+/// Interior-mutability types whose mention in a fn body is a c1 hazard.
+const INTERIOR_MUT_TYPES: [&str; 3] = ["Cell", "RefCell", "UnsafeCell"];
+/// Channel receives that observe arrival order (rule c4). `join` blocks
+/// but does not receive, so it is c3-only.
+const RECV_METHODS: [&str; 3] = ["recv", "try_recv", "recv_timeout"];
+/// Blocking calls that deadlock-risk while a guard is live (rule c3).
+/// `try_recv` is non-blocking and exempt.
+const BLOCKING_METHODS: [&str; 4] = ["recv", "recv_timeout", "join", "lock"];
+
+/// Mutable walk state for the concurrency extraction (rules c1–c4): live
+/// lock guards and open loop bodies, maintained by `index_file`'s brace
+/// walk and consumed by `extract_at`.
+#[derive(Default)]
+struct ConcState {
+    /// `let`-bound lock guards still live: (depth at acquisition, lock, line).
+    guards: Vec<(usize, String, usize)>,
+    /// Open `for`/`while`/`loop` bodies, innermost last.
+    loops: Vec<OpenLoop>,
+    /// A loop keyword was seen at this line; the next `{` opens its body.
+    pending_loop: Option<usize>,
+    /// A receive seen in a loop *header* (`while let Ok(x) = rx.recv()`)
+    /// before the body's `{` opened; moved into the loop when it does.
+    pending_recv: Option<(String, usize, usize)>,
+}
+
+struct OpenLoop {
+    /// Depth the loop's `{` opened at (same convention as `mod_stack`).
+    depth: usize,
+    start_line: usize,
+    /// First unindexed channel receive seen in the loop.
+    recv: Option<(String, usize, usize)>,
+    /// First `.merge(` seen in the loop.
+    merge: Option<(usize, usize)>,
+}
 
 /// Walks one lexed file and builds its [`FileIndex`]. `dirs` supplies the
 /// allow directives that audit sinks/sources in place.
@@ -211,6 +316,7 @@ pub fn index_file(ctx: &FileContext, tokens: &[Token], dirs: &Directives) -> Fil
     let mut test_stack: Vec<usize> = Vec::new();
 
     let mut pending_test = false;
+    let mut conc = ConcState::default();
     // A parsed-but-unopened item header waiting for its `{` (or `;`).
     enum Pending {
         Mod { name: String, is_pub: bool },
@@ -372,14 +478,76 @@ pub fn index_file(ctx: &FileContext, tokens: &[Token], dirs: &Directives) -> Fil
                                 col: name_tok.col,
                                 audited_g1: dirs.allows_on(RuleId::G1, name_tok.line),
                                 audited_g2: dirs.allows_on(RuleId::G2, name_tok.line),
+                                audited_c1: dirs.allows_on(RuleId::C1, name_tok.line),
+                                audited_c2: dirs.allows_on(RuleId::C2, name_tok.line),
                                 calls: Vec::new(),
                                 sinks: Vec::new(),
                                 sources: Vec::new(),
+                                hazards: Vec::new(),
+                                locks: Vec::new(),
+                                blocked_guards: Vec::new(),
+                                recv_loops: Vec::new(),
                             };
                             pending = Some(Pending::Fn(info));
                         }
                         i += 2;
                         continue;
+                    }
+                }
+            }
+            Tok::Ident(kw)
+                if kw == "static"
+                    && !in_test
+                    && !(i > 0 && tokens[i - 1].is_punct('\'')) =>
+            {
+                // `static [mut] NAME : Type = ...` — a `'static` lifetime
+                // is excluded by the quote check above. `static mut` is a
+                // c1 hazard outright; an immutable static whose type
+                // mentions an interior-mutability cell or `Rc` is a
+                // non-`Sync` static, same hazard.
+                let mut j = i + 1;
+                let is_mut = tokens.get(j).and_then(Token::ident) == Some("mut");
+                if is_mut {
+                    j += 1;
+                }
+                if let Some(name) = tokens.get(j).and_then(Token::ident) {
+                    let mut non_sync = false;
+                    if !is_mut {
+                        let mut k = j + 1;
+                        while let Some(n) = tokens.get(k) {
+                            if n.is_punct('=') || n.is_punct(';') {
+                                break;
+                            }
+                            if matches!(
+                                n.ident(),
+                                Some("Cell") | Some("RefCell") | Some("UnsafeCell") | Some("Rc")
+                            ) {
+                                non_sync = true;
+                            }
+                            k += 1;
+                        }
+                    }
+                    if is_mut || non_sync {
+                        let what = if is_mut {
+                            format!("static mut {name}")
+                        } else {
+                            format!("non-Sync static {name}")
+                        };
+                        if dirs.allows_on(RuleId::C1, t.line) {
+                            out.used_allows.push((t.line, RuleId::C1));
+                        } else if let Some(&(_, fi)) = fn_stack.last() {
+                            out.fns[fi].hazards.push(Hazard {
+                                what,
+                                line: t.line,
+                                col: t.col,
+                            });
+                        } else {
+                            out.statics.push(Hazard {
+                                what,
+                                line: t.line,
+                                col: t.col,
+                            });
+                        }
                     }
                 }
             }
@@ -404,8 +572,20 @@ pub fn index_file(ctx: &FileContext, tokens: &[Token], dirs: &Directives) -> Fil
                 if pending_test {
                     pending_test = false;
                 }
+                conc.pending_loop = None;
+                conc.pending_recv = None;
             }
             Tok::Punct('{') => {
+                if let Some(start_line) = conc.pending_loop.take() {
+                    if fn_stack.last().is_some() {
+                        conc.loops.push(OpenLoop {
+                            depth,
+                            start_line,
+                            recv: conc.pending_recv.take(),
+                            merge: None,
+                        });
+                    }
+                }
                 match pending.take() {
                     Some(Pending::Mod { name, is_pub }) => {
                         if !in_test {
@@ -434,6 +614,23 @@ pub fn index_file(ctx: &FileContext, tokens: &[Token], dirs: &Directives) -> Fil
             }
             Tok::Punct('}') => {
                 depth = depth.saturating_sub(1);
+                // Close loops first, while the owning fn is still open.
+                while conc.loops.last().is_some_and(|l| l.depth == depth) {
+                    if let (Some(l), Some(&(_, fi))) = (conc.loops.pop(), fn_stack.last()) {
+                        if let Some((what, rl, rc)) = l.recv {
+                            out.fns[fi].recv_loops.push(RecvLoop {
+                                recv_what: what,
+                                recv_line: rl,
+                                recv_col: rc,
+                                start_line: l.start_line,
+                                end_line: t.line,
+                                merge: l.merge,
+                            });
+                        }
+                    }
+                }
+                // Guards die with the block they were acquired in.
+                conc.guards.retain(|(d, _, _)| *d <= depth);
                 while mod_stack.last().is_some_and(|(d, _)| *d == depth) {
                     mod_stack.pop();
                 }
@@ -450,11 +647,11 @@ pub fn index_file(ctx: &FileContext, tokens: &[Token], dirs: &Directives) -> Fil
             _ => {}
         }
 
-        // Body-level extraction: calls, sinks, sources — attributed to the
-        // innermost open fn, outside test scope.
+        // Body-level extraction: calls, sinks, sources, concurrency facts
+        // — attributed to the innermost open fn, outside test scope.
         if !in_test {
             if let Some(&(_, fi)) = fn_stack.last() {
-                extract_at(tokens, i, &impl_stack, dirs, &mut out, fi);
+                extract_at(tokens, i, &impl_stack, dirs, &mut out, fi, &mut conc, depth);
             }
         }
 
@@ -464,8 +661,9 @@ pub fn index_file(ctx: &FileContext, tokens: &[Token], dirs: &Directives) -> Fil
     out
 }
 
-/// Inspects the token at `i` inside a fn body and records any call, sink
-/// or source that *starts* there.
+/// Inspects the token at `i` inside a fn body and records any call, sink,
+/// source or concurrency fact that *starts* there.
+#[allow(clippy::too_many_arguments)]
 fn extract_at(
     tokens: &[Token],
     i: usize,
@@ -473,11 +671,38 @@ fn extract_at(
     dirs: &Directives,
     out: &mut FileIndex,
     fi: usize,
+    conc: &mut ConcState,
+    depth: usize,
 ) {
     let t = &tokens[i];
 
     match &t.tok {
         Tok::Ident(name) => {
+            // Loop headers: the next `{` opens this loop's body (rule c4).
+            if matches!(name.as_str(), "for" | "while" | "loop") {
+                conc.pending_loop = Some(t.line);
+                return;
+            }
+            // Interior-mutability types named in a body — constructors
+            // (`RefCell::new`) and ascriptions (`let x: Cell<u64>`) — are
+            // c1 hazards (rule c1; shared state must not reach the
+            // parallel region unaudited).
+            if INTERIOR_MUT_TYPES.contains(&name.as_str())
+                && tokens
+                    .get(i + 1)
+                    .is_some_and(|n| n.is_punct(':') || n.is_punct('<'))
+            {
+                if dirs.allows_on(RuleId::C1, t.line) {
+                    out.used_allows.push((t.line, RuleId::C1));
+                } else {
+                    out.fns[fi].hazards.push(Hazard {
+                        what: name.clone(),
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+                // Fall through: `RefCell::new(` is also a path call.
+            }
             // Sink macros: `panic!`, `unreachable!`, ...
             if SINK_MACROS.contains(&name.as_str())
                 && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
@@ -557,6 +782,87 @@ fn extract_at(
                             line: mt.line,
                             col: mt.col,
                         });
+                        // Concurrency facts hang off the same method call.
+                        // The receiver is the identifier before the `.`;
+                        // an unnameable receiver (`make_lock().lock()`)
+                        // degrades to `<expr>`.
+                        let receiver = (i > 0)
+                            .then(|| tokens[i - 1].ident())
+                            .flatten()
+                            .filter(|r| !is_keyword(r));
+                        // c3: any blocking call while a `let`-bound guard
+                        // is live — including a second `.lock()`, since a
+                        // std Mutex is not reentrant.
+                        if BLOCKING_METHODS.contains(&m) {
+                            if let Some((_, guard_lock, guard_line)) = conc.guards.first() {
+                                if dirs.allows_on(RuleId::C3, mt.line) {
+                                    out.used_allows.push((mt.line, RuleId::C3));
+                                } else {
+                                    out.fns[fi].blocked_guards.push(BlockingUnderGuard {
+                                        what: format!("{m}()"),
+                                        guard_lock: guard_lock.clone(),
+                                        guard_line: *guard_line,
+                                        line: mt.line,
+                                        col: mt.col,
+                                    });
+                                }
+                            }
+                        }
+                        if m == "lock" {
+                            let lock = receiver.unwrap_or("<expr>").to_string();
+                            // c2: record the acquisition for the lock-order
+                            // graph; allow(c2) on the line excludes it.
+                            if dirs.allows_on(RuleId::C2, mt.line) {
+                                out.used_allows.push((mt.line, RuleId::C2));
+                            } else {
+                                out.fns[fi].locks.push(LockAcq {
+                                    lock: lock.clone(),
+                                    line: mt.line,
+                                    col: mt.col,
+                                });
+                            }
+                            // A `let`-bound guard stays live to the end of
+                            // its block; a temporary dies at the `;` and
+                            // is not tracked.
+                            if stmt_has_let(tokens, i) {
+                                conc.guards.push((depth, lock, mt.line));
+                            }
+                        }
+                        // c4: an unindexed receive inside a loop observes
+                        // channel-arrival order. `rx[k].recv()` (receiver
+                        // ends in `]`) is the blessed shard-indexed shape.
+                        if RECV_METHODS.contains(&m) {
+                            let indexed = i > 0 && tokens[i - 1].is_punct(']');
+                            let in_loop =
+                                conc.loops.last().is_some() || conc.pending_loop.is_some();
+                            if !indexed && in_loop {
+                                if dirs.allows_on(RuleId::C4, mt.line) {
+                                    out.used_allows.push((mt.line, RuleId::C4));
+                                } else {
+                                    let site = (format!("{m}()"), mt.line, mt.col);
+                                    match conc.loops.last_mut() {
+                                        Some(l) if conc.pending_loop.is_none() => {
+                                            if l.recv.is_none() {
+                                                l.recv = Some(site);
+                                            }
+                                        }
+                                        // Loop header: attach when `{` opens.
+                                        _ => {
+                                            if conc.pending_recv.is_none() {
+                                                conc.pending_recv = Some(site);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        if m == "merge" {
+                            if let Some(l) = conc.loops.last_mut() {
+                                if l.merge.is_none() {
+                                    l.merge = Some((mt.line, mt.col));
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -627,6 +933,25 @@ fn extract_at(
             col: t.col,
         });
     }
+}
+
+/// Looks backward from the `.` of a `.lock()` call to the start of the
+/// statement (`;`, `{` or `}`) for a `let`: decides whether the call
+/// binds a live guard or produces a same-statement temporary. The scan is
+/// bounded; a pathological 256-token statement degrades to "no guard",
+/// i.e. c3 under-approximates rather than scanning the whole file.
+fn stmt_has_let(tokens: &[Token], i: usize) -> bool {
+    let mut j = i;
+    let floor = i.saturating_sub(256);
+    while j > floor {
+        j -= 1;
+        match &tokens[j].tok {
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => return false,
+            Tok::Ident(s) if s == "let" => return true,
+            _ => {}
+        }
+    }
+    false
 }
 
 fn push_sink(

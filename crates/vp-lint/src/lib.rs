@@ -13,7 +13,13 @@
 //!   and conservative call graph drive interprocedural panic-reachability
 //!   (g1) and nondeterminism-taint (g2) analyses over every policed
 //!   crate's public API, each finding carrying a witness call path; and
-//!   g3 flags every `allow(...)` that no longer suppresses anything.
+//!   g3 flags every `allow(...)` that no longer suppresses anything;
+//! * **concurrency rules** ([`crules`]): the *parallel region* — every fn
+//!   reachable from a closure handed to the blessed shard executor — is
+//!   computed from the same call graph, then checked for shared mutable
+//!   state (c1), lock-order cycles (c2), blocking under a live guard
+//!   (c3) and arrival-order result folds (c4); c5 (a token rule) confines
+//!   `thread::spawn`/`scope` to the blessed executor module itself.
 //!
 //! Ships three ways: the `cargo run -p vp-lint` CLI, the tier-1
 //! `tests/lint_gate.rs` integration test that fails the build on any
@@ -22,6 +28,7 @@
 //! Suppression: `// vp-lint: allow(<rule>): <justification>` on (or
 //! directly above) the offending line. The justification is mandatory.
 
+pub mod crules;
 pub mod directives;
 pub mod graph;
 pub mod grules;

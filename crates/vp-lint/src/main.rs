@@ -4,7 +4,7 @@
 //! cargo run -p vp-lint -- --workspace [--format text|json]
 //! cargo run -p vp-lint -- [--root DIR] [--format text|json] PATH...
 //! cargo run -p vp-lint -- graph [--dot] [--root DIR]
-//! cargo run -p vp-lint -- bench [--reps N] [--budget-ms M] [--root DIR]
+//! cargo run -p vp-lint -- bench [--reps N] [--budget-ms M | --budget-per-rule-ms M] [--root DIR]
 //! ```
 //!
 //! Exit status: 0 clean, 1 findings (or bench over budget), 2 usage or
@@ -67,9 +67,12 @@ fn run_graph(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// `vp-lint bench [--reps N] [--budget-ms M] [--root DIR]` — time the
-/// full workspace scan (min of N reps, the same estimator `vp-bench`
-/// uses) and fail when it exceeds the budget. Keeps the analyzer fast
+/// `vp-lint bench [--reps N] [--budget-ms M | --budget-per-rule-ms M]
+/// [--root DIR]` — time the full workspace scan (min of N reps, the
+/// same estimator `vp-bench` uses) and fail when it exceeds the budget.
+/// `--budget-per-rule-ms` scales the budget with [`RuleId::ALL`], so
+/// adding a rule grows the allowance instead of silently eating the
+/// remaining headroom of a hard constant. Keeps the analyzer fast
 /// enough to stay inside tier-1.
 fn run_bench(args: &[String]) -> Result<ExitCode, String> {
     let mut reps: u32 = 5;
@@ -91,6 +94,14 @@ fn run_bench(args: &[String]) -> Result<ExitCode, String> {
                     .ok_or("--budget-ms needs a value")?
                     .parse()
                     .map_err(|e| format!("--budget-ms: {e}"))?;
+            }
+            "--budget-per-rule-ms" => {
+                let per: u128 = it
+                    .next()
+                    .ok_or("--budget-per-rule-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--budget-per-rule-ms: {e}"))?;
+                budget_ms = per * vp_lint::RuleId::ALL.len() as u128;
             }
             "--root" => root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?)),
             other => return Err(format!("unknown bench flag `{other}`")),
@@ -149,13 +160,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                      USAGE:\n  vp-lint --workspace [--root DIR] [--format text|json]\n  \
                      vp-lint [--root DIR] [--format text|json] PATH...\n  \
                      vp-lint graph [--dot] [--root DIR]\n  \
-                     vp-lint bench [--reps N] [--budget-ms M] [--root DIR]\n\n\
+                     vp-lint bench [--reps N] [--budget-ms M | --budget-per-rule-ms M] [--root DIR]\n\n\
                      Token rules: d1 hash-order, d2 ambient entropy, d3 merge-tested,\n\
                      d4 wall-time Clock impls outside binaries/vp-bench,\n\
-                     h1 narrowing casts (hot crates), h2 unwrap/expect in libraries.\n\
+                     h1 narrowing casts (hot crates), h2 unwrap/expect in libraries,\n\
+                     c5 thread::spawn/scope outside the blessed executor.\n\
                      Graph rules: g1 panic-reachability and g2 nondeterminism taint\n\
                      over the public API of policed crates (with witness paths),\n\
                      g3 stale allow directives.\n\
+                     Concurrency rules (over the parallel region rooted at the\n\
+                     blessed executor): c1 shared mutable state, c2 lock-order\n\
+                     cycles, c3 blocking under a live guard, c4 arrival-order\n\
+                     result folds.\n\
                      Suppress with `// vp-lint: allow(<rule>): <justification>`."
                 );
                 return Ok(ExitCode::SUCCESS);

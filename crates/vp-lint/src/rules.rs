@@ -8,7 +8,12 @@
 //! | d4  | wall-time `Clock` impls belong in binaries or `vp-bench`: a library file that implements the `Clock` trait must not read `Instant`/`SystemTime` |
 //! | h1  | no narrowing `as` casts in the hot crates (`vp-sim`, `verfploeter`, `vp-hitlist`) |
 //! | h2  | no `unwrap()`/`expect()` in library (non-test, non-bin) code |
+//! | c5  | `std::thread::spawn`/`thread::scope` only inside the blessed executor module (`crates/vp-sim/src/exec.rs`) — every other thread must go through `ShardExecutor` |
 //! | directive | malformed `vp-lint:` directive (never suppressible) |
+//!
+//! c1–c4 (the rest of the concurrency-safety layer) are interprocedural
+//! and live in [`crate::crules`]; c5 is token-level, like d4, because
+//! "who spawns" is a per-file fact that needs no graph.
 //!
 //! Matching happens on masked tokens (see [`crate::lexer`]), so literals
 //! and comments can never trigger a rule. Test scope — files under
@@ -30,10 +35,37 @@ pub enum RuleId {
     G1,
     G2,
     G3,
+    C1,
+    C2,
+    C3,
+    C4,
+    C5,
     Directive,
 }
 
 impl RuleId {
+    /// Every rule the analyzer runs, in report order. The length of this
+    /// table is what `vp-lint bench --budget-per-rule-ms` scales by, so a
+    /// new rule automatically widens the CI budget instead of silently
+    /// eating the old one.
+    pub const ALL: [RuleId; 15] = [
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::D3,
+        RuleId::D4,
+        RuleId::H1,
+        RuleId::H2,
+        RuleId::G1,
+        RuleId::G2,
+        RuleId::G3,
+        RuleId::C1,
+        RuleId::C2,
+        RuleId::C3,
+        RuleId::C4,
+        RuleId::C5,
+        RuleId::Directive,
+    ];
+
     pub fn name(self) -> &'static str {
         match self {
             RuleId::D1 => "d1",
@@ -45,6 +77,11 @@ impl RuleId {
             RuleId::G1 => "g1",
             RuleId::G2 => "g2",
             RuleId::G3 => "g3",
+            RuleId::C1 => "c1",
+            RuleId::C2 => "c2",
+            RuleId::C3 => "c3",
+            RuleId::C4 => "c4",
+            RuleId::C5 => "c5",
             RuleId::Directive => "directive",
         }
     }
@@ -60,6 +97,11 @@ impl RuleId {
             "g1" => Some(RuleId::G1),
             "g2" => Some(RuleId::G2),
             "g3" => Some(RuleId::G3),
+            "c1" => Some(RuleId::C1),
+            "c2" => Some(RuleId::C2),
+            "c3" => Some(RuleId::C3),
+            "c4" => Some(RuleId::C4),
+            "c5" => Some(RuleId::C5),
             "directive" => Some(RuleId::Directive),
             _ => None,
         }
@@ -119,6 +161,13 @@ impl FileContext {
         }
     }
 }
+
+/// The one file allowed to spawn OS threads (rule c5) and the anchor of
+/// the parallel-region computation (rules c1–c4 in [`crate::crules`]):
+/// any fn with a call edge into this file is treated as handing closures
+/// to the executor. The same path works for the seeded fixture workspace,
+/// whose fake executor lives at the same relative location.
+pub const BLESSED_EXECUTOR_FILE: &str = "crates/vp-sim/src/exec.rs";
 
 /// Crates whose narrowing casts H1 polices.
 const HOT_CRATES: [&str; 3] = ["vp-sim", "verfploeter", "vp-hitlist"];
@@ -483,6 +532,34 @@ pub fn scan_tokens(ctx: &FileContext, tokens: &[Token], dirs: &Directives) -> Fi
                     );
                 }
             }
+        }
+
+        // c5 — OS threads outside the blessed executor module. Detection
+        // is the `thread :: spawn` / `thread :: scope` path shape, which
+        // catches `std::thread::spawn`, `thread::scope` and any aliased
+        // `use std::thread` — but not a renamed module import, which is
+        // what code review is for.
+        if !ctx.is_bin
+            && ctx.rel_path != BLESSED_EXECUTOR_FILE
+            && matches!(t.ident(), Some("spawn") | Some("scope"))
+            && i >= 3
+            && tokens[i - 1].is_punct(':')
+            && tokens[i - 2].is_punct(':')
+            && tokens[i - 3].ident() == Some("thread")
+        {
+            push(
+                dirs,
+                &mut out,
+                RuleId::C5,
+                t.line,
+                t.col,
+                format!(
+                    "thread::{} outside the blessed executor module: spawn work \
+                     through vp_sim::exec::ShardExecutor ({BLESSED_EXECUTOR_FILE}) \
+                     so the shard-id-ordered merge discipline holds",
+                    t.ident().unwrap_or_default(),
+                ),
+            );
         }
 
         // h2 — unwrap/expect in library code.

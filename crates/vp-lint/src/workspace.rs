@@ -12,6 +12,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::crules;
 use crate::directives::{self, Allow};
 use crate::graph::{CrateDeps, Graph};
 use crate::grules::{self, Visibility};
@@ -173,8 +174,8 @@ pub fn build_graph(root: &Path) -> io::Result<Graph> {
 }
 
 /// Scans a set of files as one workspace rooted at `root`: token rules
-/// per file, d3 across files, g1/g2 over the call graph, then g3 over
-/// the allow directives. Findings come back sorted.
+/// per file, d3 across files, g1/g2 and c1–c4 over the call graph, then
+/// g3 over the allow directives. Findings come back sorted.
 pub fn scan_files(root: &Path, files: &[PathBuf]) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
     let mut merge_defs = Vec::new();
@@ -234,6 +235,12 @@ pub fn scan_files(root: &Path, files: &[PathBuf]) -> io::Result<Vec<Finding>> {
     let (g_findings, g_used) = grules::evaluate(&graph, &vis);
     findings.extend(g_findings);
     for (file, line, rule) in g_used {
+        used.insert((file, line, rule));
+    }
+
+    let (c_findings, c_used) = crules::evaluate(&graph, &indexes);
+    findings.extend(c_findings);
+    for (file, line, rule) in c_used {
         used.insert((file, line, rule));
     }
 

@@ -30,6 +30,10 @@ pub struct BenchRun {
     /// field (pre-multi-scale documents) inherit the document-level one.
     pub targets: u64,
     pub shards: u64,
+    /// True when the entry ran on the OS-thread executor
+    /// (`ShardExecutor::host_parallel`); absent in pre-threading
+    /// documents, which parse as `false` (the serial executor).
+    pub threaded: bool,
     pub reps: u64,
     pub min_ns: u64,
     pub median_ns: u64,
@@ -71,6 +75,10 @@ fn parse_series(doc: &Value, doc_targets: u64, what: &str) -> Result<Vec<BenchRu
                 .and_then(Value::as_u64)
                 .unwrap_or(doc_targets),
             shards: field("shards")?,
+            threaded: entry
+                .get("threaded")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
             reps: field("reps")?,
             min_ns: field("min_ns")?,
             median_ns: field("median_ns")?,
@@ -133,14 +141,15 @@ pub fn parse_baseline(text: &str, what: &str) -> Result<BenchBaseline, String> {
     })
 }
 
-/// The verdict for one (targets, shard count) pair.
+/// The verdict for one (targets, shards, threaded) series entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardVerdict {
     pub targets: u64,
     pub shards: u64,
+    pub threaded: bool,
     pub current_min_ns: u64,
     /// Best (lowest) min over the baseline trajectory; `None` if the
-    /// baseline has no entry for this (targets, shard count) pair.
+    /// baseline has no entry for this (targets, shards, threaded) key.
     pub baseline_best_ns: Option<u64>,
     /// `current * 1000 / baseline_best`; 1000 = exactly baseline.
     pub ratio_permille: Option<u64>,
@@ -151,6 +160,9 @@ pub struct ShardVerdict {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchVerdict {
     pub tolerance_permille: u64,
+    /// Host speed factor the allowance was scaled by (1000 = the host
+    /// the baselines were recorded on).
+    pub host_factor_permille: u64,
     pub shards: Vec<ShardVerdict>,
 }
 
@@ -164,33 +176,55 @@ impl BenchVerdict {
     pub fn report_lines(&self) -> Vec<String> {
         self.shards
             .iter()
-            .map(|s| match (s.baseline_best_ns, s.ratio_permille) {
-                (Some(best), Some(ratio)) => format!(
-                    "targets={targets} K={shards}: min {cur:.1}ms vs baseline best \
-                     {best:.1}ms (ratio {ratio} permille, limit {limit}) — {verdict}",
-                    targets = s.targets,
-                    shards = s.shards,
-                    cur = s.current_min_ns as f64 / 1e6,
-                    best = best as f64 / 1e6,
-                    limit = 1000 + self.tolerance_permille,
-                    verdict = if s.regressed { "REGRESSED" } else { "ok" },
-                ),
-                _ => format!(
-                    "targets={} K={}: no baseline entry — skipped (commit a new baseline run)",
-                    s.targets, s.shards
-                ),
+            .map(|s| {
+                let mode = if s.threaded { " threaded" } else { "" };
+                match (s.baseline_best_ns, s.ratio_permille) {
+                    (Some(best), Some(ratio)) => format!(
+                        "targets={targets} K={shards}{mode}: min {cur:.1}ms vs baseline best \
+                         {best:.1}ms (ratio {ratio} permille, limit {limit}) — {verdict}",
+                        targets = s.targets,
+                        shards = s.shards,
+                        cur = s.current_min_ns as f64 / 1e6,
+                        best = best as f64 / 1e6,
+                        limit =
+                            (1000 + self.tolerance_permille) * self.host_factor_permille / 1000,
+                        verdict = if s.regressed { "REGRESSED" } else { "ok" },
+                    ),
+                    _ => format!(
+                        "targets={} K={}{mode}: no baseline entry — skipped \
+                         (commit a new baseline run)",
+                        s.targets, s.shards
+                    ),
+                }
             })
             .collect()
     }
 }
 
 /// Applies the noise-aware min-of-reps rule: each current (targets,
-/// shard-count) pair is compared against the best min across the whole
-/// baseline trajectory **at the same scale** — a 100k-block min must never
-/// be judged against a 15k-block baseline. Pairs absent from the baseline
-/// are reported but never regress (a new scale or K needs a committed
-/// baseline first).
+/// shards, threaded) entry is compared against the best min across the
+/// whole baseline trajectory **at the same key** — a 100k-block min must
+/// never be judged against a 15k-block baseline, and a threaded series
+/// must never be judged against the serial executor's (or vice versa).
+/// Keys absent from the baseline are reported but never regress (a new
+/// scale, K, or execution mode needs a committed baseline first).
 pub fn check_bench(current: &BenchScanDoc, baseline: &BenchBaseline) -> BenchVerdict {
+    check_bench_scaled(current, baseline, 1000)
+}
+
+/// [`check_bench`] with a host speed factor (permille, 1000 = the host
+/// the committed baselines were recorded on). A CI box measured ~1.3×
+/// slower than the baseline host passes `host_factor_permille = 1300`
+/// and its allowance scales accordingly:
+/// `current * 1_000_000 > best * (1000 + tolerance) * host_factor`.
+/// This keeps the committed baselines portable instead of silently
+/// re-recording them per machine. Factors below 1000 tighten the gate
+/// (a faster host should also be held to its speed).
+pub fn check_bench_scaled(
+    current: &BenchScanDoc,
+    baseline: &BenchBaseline,
+    host_factor_permille: u64,
+) -> BenchVerdict {
     let shards = current
         .series
         .iter()
@@ -199,20 +233,27 @@ pub fn check_bench(current: &BenchScanDoc, baseline: &BenchBaseline) -> BenchVer
                 .runs
                 .iter()
                 .flat_map(|run| run.series.iter())
-                .filter(|b| b.shards == cur.shards && b.targets == cur.targets)
+                .filter(|b| {
+                    b.shards == cur.shards
+                        && b.targets == cur.targets
+                        && b.threaded == cur.threaded
+                })
                 .map(|b| b.min_ns)
                 .min();
             let ratio = best.map(|b| cur.min_ns.saturating_mul(1000) / b.max(1));
             let regressed = match best {
                 Some(b) => {
-                    cur.min_ns.saturating_mul(1000)
-                        > b.saturating_mul(1000 + baseline.tolerance_permille)
+                    u128::from(cur.min_ns) * 1_000_000
+                        > u128::from(b)
+                            * u128::from(1000 + baseline.tolerance_permille)
+                            * u128::from(host_factor_permille)
                 }
                 None => false,
             };
             ShardVerdict {
                 targets: cur.targets,
                 shards: cur.shards,
+                threaded: cur.threaded,
                 current_min_ns: cur.min_ns,
                 baseline_best_ns: best,
                 ratio_permille: ratio,
@@ -222,6 +263,7 @@ pub fn check_bench(current: &BenchScanDoc, baseline: &BenchBaseline) -> BenchVer
         .collect();
     BenchVerdict {
         tolerance_permille: baseline.tolerance_permille,
+        host_factor_permille,
         shards,
     }
 }
@@ -243,6 +285,7 @@ fn run_value(doc: &BenchScanDoc) -> Value {
                     let mut e = std::collections::BTreeMap::new();
                     e.insert("targets".to_owned(), Value::U64(r.targets));
                     e.insert("shards".to_owned(), Value::U64(r.shards));
+                    e.insert("threaded".to_owned(), Value::Bool(r.threaded));
                     e.insert("reps".to_owned(), Value::U64(r.reps));
                     e.insert("min_ns".to_owned(), Value::U64(r.min_ns));
                     e.insert("median_ns".to_owned(), Value::U64(r.median_ns));
@@ -301,6 +344,7 @@ mod tests {
                 .map(|&(targets, shards, min_ns)| BenchRun {
                     targets,
                     shards,
+                    threaded: false,
                     reps: 9,
                     min_ns,
                     median_ns: min_ns + 10,
@@ -309,6 +353,13 @@ mod tests {
                 })
                 .collect(),
         }
+    }
+
+    fn mark_threaded(mut doc: BenchScanDoc) -> BenchScanDoc {
+        for r in &mut doc.series {
+            r.threaded = true;
+        }
+        doc
     }
 
     fn baseline(tolerance: u64, runs: Vec<BenchScanDoc>) -> BenchBaseline {
@@ -375,6 +426,70 @@ mod tests {
 
         let new_scale = run_at(3, &[(1_000_000, 1, 999_999_999)]);
         assert!(!check_bench(&new_scale, &base).regressed());
+    }
+
+    #[test]
+    fn threaded_series_gate_independently_of_serial() {
+        // A threaded K=8 entry must not be judged against the serial
+        // K=8 baseline (the threaded series has its own cost profile),
+        // and before a threaded baseline is committed it never regresses.
+        let base = baseline(500, vec![run(1, &[(8, 1000)])]);
+        let slow_threaded = mark_threaded(run(2, &[(8, 99_999)]));
+        let verdict = check_bench(&slow_threaded, &base);
+        assert!(!verdict.regressed());
+        assert!(verdict.report_lines()[0].contains("K=8 threaded"));
+        assert!(verdict.report_lines()[0].contains("no baseline entry"));
+
+        // Once a threaded baseline exists, the threaded series gates —
+        // and the serial series still compares against serial only.
+        let base2 = baseline(
+            500,
+            vec![run(1, &[(8, 1000)]), mark_threaded(run(2, &[(8, 700)]))],
+        );
+        let mut mixed = run(3, &[(8, 1400), (8, 1051)]);
+        mixed.series[1].threaded = true;
+        let verdict = check_bench(&mixed, &base2);
+        assert!(!verdict.shards[0].regressed, "serial 1400 vs 1000*1.5");
+        assert!(verdict.shards[1].regressed, "threaded 1051 > 700*1.5");
+        assert_eq!(verdict.shards[1].baseline_best_ns, Some(700));
+    }
+
+    #[test]
+    fn threaded_flag_roundtrips_and_defaults_false() {
+        let text = r#"{
+            "schema": "vp-bench-scan/v1", "run": 1, "targets": 15000,
+            "series": [
+                {"max_ns": 5, "median_ns": 4, "min_ns": 3, "p90_ns": 5,
+                 "reps": 9, "shards": 1},
+                {"max_ns": 5, "median_ns": 4, "min_ns": 2, "p90_ns": 5,
+                 "reps": 9, "shards": 8, "threaded": true}
+            ]
+        }"#;
+        let doc = parse_bench_scan(text, "test").unwrap();
+        assert!(!doc.series[0].threaded, "absent parses as serial");
+        assert!(doc.series[1].threaded);
+        let base = baseline(500, vec![doc.clone()]);
+        let rendered = serde_json::to_string(&build_baseline_doc(&base, None)).unwrap();
+        let back = parse_baseline(&rendered, "test").unwrap();
+        assert_eq!(back.runs[0], doc);
+    }
+
+    #[test]
+    fn host_factor_scales_the_allowance() {
+        // Baseline 1000ns, tolerance 500‰ → serial limit 1500ns. A
+        // current min of 1800ns regresses on the baseline host but is
+        // within allowance on a host vouched 1.3× slower (limit 1950ns).
+        let base = baseline(500, vec![run(1, &[(1, 1000)])]);
+        let cur = run(2, &[(1, 1800)]);
+        assert!(check_bench(&cur, &base).regressed());
+        let scaled = check_bench_scaled(&cur, &base, 1300);
+        assert!(!scaled.regressed(), "{:?}", scaled.shards);
+        assert!(scaled.report_lines()[0].contains("limit 1950"));
+        // Strict inequality at the scaled limit: 1950 passes, 1951 fails.
+        assert!(!check_bench_scaled(&run(2, &[(1, 1950)]), &base, 1300).regressed());
+        assert!(check_bench_scaled(&run(2, &[(1, 1951)]), &base, 1300).regressed());
+        // A factor below 1000 tightens the gate for a faster host.
+        assert!(check_bench_scaled(&run(2, &[(1, 1400)]), &base, 900).regressed());
     }
 
     #[test]

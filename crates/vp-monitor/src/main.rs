@@ -6,7 +6,7 @@
 //!                 [--source <name>] [--out <dir>]
 //! vp-monitor watch --rounds <dir> [--origins <file>] [--obs-report <file>]
 //! vp-monitor check-bench --current <BENCH_scan.json> --baseline <file>
-//!                        [--append <file>]
+//!                        [--append <file>] [--host-factor <permille>]
 //! vp-monitor validate <file>...
 //! ```
 //!
@@ -17,7 +17,9 @@
 //!   alert transition as it happens — the offline stand-in for tailing a
 //!   live 15-minute measurement cadence.
 //! * `check-bench` gates on the committed perf baseline trajectory; exit
-//!   status 1 means a regression.
+//!   status 1 means a regression. `--host-factor 1300` scales the
+//!   allowance for a host vouched 1.3× slower than the baseline machine,
+//!   so portable baselines don't false-fail on slow CI boxes.
 //! * `validate` checks any tagged document (obs report, drift, alert,
 //!   bench baseline) against its embedded schema snapshot.
 
@@ -26,7 +28,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use vp_monitor::alert::AlertConfig;
-use vp_monitor::bench::{build_baseline_doc, check_bench, parse_baseline, parse_bench_scan};
+use vp_monitor::bench::{build_baseline_doc, check_bench_scaled, parse_baseline, parse_bench_scan};
 use vp_monitor::diff::Origins;
 use vp_monitor::ingest::{load_obs_report, load_origins_sidecar, load_rounds_dir};
 use vp_monitor::pipeline::run_diff_pipeline;
@@ -40,6 +42,7 @@ fn usage() -> ExitCode {
          \x20           [--source <name>] [--out <dir>]\n\
          watch       --rounds <dir> [--origins <file>] [--obs-report <file>]\n\
          check-bench --current <file> --baseline <file> [--append <file>]\n\
+         \x20           [--host-factor <permille>]\n\
          validate    <file>..."
     );
     ExitCode::from(2)
@@ -186,6 +189,7 @@ fn cmd_check_bench(args: &[String]) -> Result<ExitCode, String> {
     let mut current = None;
     let mut baseline = None;
     let mut append = None;
+    let mut host_factor: u64 = 1000;
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| -> Result<&String, String> {
@@ -196,6 +200,14 @@ fn cmd_check_bench(args: &[String]) -> Result<ExitCode, String> {
             "--current" => current = Some(PathBuf::from(value(i)?)),
             "--baseline" => baseline = Some(PathBuf::from(value(i)?)),
             "--append" => append = Some(PathBuf::from(value(i)?)),
+            "--host-factor" => {
+                host_factor = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--host-factor: {e}"))?;
+                if host_factor == 0 {
+                    return Err("--host-factor must be a positive permille value".to_owned());
+                }
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
         i += 2;
@@ -214,7 +226,7 @@ fn cmd_check_bench(args: &[String]) -> Result<ExitCode, String> {
         &baseline_path.display().to_string(),
     )?;
 
-    let verdict = check_bench(&current_doc, &baseline_doc);
+    let verdict = check_bench_scaled(&current_doc, &baseline_doc, host_factor);
     for line in verdict.report_lines() {
         println!("{line}");
     }

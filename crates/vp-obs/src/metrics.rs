@@ -60,6 +60,7 @@ pub struct Histogram {
 
 impl Histogram {
     pub fn new(bounds: Vec<u64>) -> Histogram {
+        // vp-lint: allow(g1): windows(2) yields exactly-two-element slices.
         debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds not sorted");
         let buckets = vec![0; bounds.len() + 1];
         Histogram {

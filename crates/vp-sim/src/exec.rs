@@ -1,0 +1,195 @@
+//! The blessed OS-thread shard executor.
+//!
+//! This module is the **only** place in the workspace allowed to spawn OS
+//! threads: `vp-lint` rule c5 fires on `thread::spawn`/`thread::scope`
+//! anywhere else in library code, and rules c1–c4 police everything
+//! reachable from the closures handed to [`ShardExecutor::run_sharded`]
+//! (the *parallel region*). See DESIGN.md §14 for the full contract.
+//!
+//! The executor's shape is the arrival-order-proof one: each shard `k`
+//! delivers its result through its **own** channel, and the barrier
+//! receives channel 0, 1, 2, … in shard-id order. A caller folding the
+//! returned vector therefore merges in shard-id order by construction —
+//! there is no shared channel whose message order could leak thread
+//! scheduling into the result.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+/// A bounded pool of OS worker threads that runs one job per shard and
+/// returns the results **indexed by shard id**, never by arrival order.
+///
+/// Worker `w` owns shards `w, w + workers, w + 2·workers, …` (the same
+/// deterministic round-robin split at every shard count), so the set of
+/// jobs each thread runs is a pure function of `(shards, workers)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardExecutor {
+    workers: usize,
+}
+
+impl ShardExecutor {
+    /// An executor with exactly `workers` OS threads (floored at one).
+    /// With one worker, jobs run inline on the calling thread.
+    pub fn new(workers: usize) -> ShardExecutor {
+        ShardExecutor {
+            workers: workers.max(1),
+        }
+    }
+
+    /// An executor that runs every shard inline on the calling thread.
+    /// Used where the caller is itself already a shard worker (nested
+    /// parallelism would oversubscribe the host).
+    pub fn serial() -> ShardExecutor {
+        ShardExecutor { workers: 1 }
+    }
+
+    /// An executor bounded by the host's available parallelism and the
+    /// shard count: a shard count far above the core count — even one per
+    /// hitlist entry — degrades gracefully instead of spawning thousands
+    /// of threads.
+    pub fn host_parallel(shards: usize) -> ShardExecutor {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ShardExecutor {
+            workers: hw.min(shards).max(1),
+        }
+    }
+
+    /// The number of OS threads `run_sharded` will use (before the shard
+    /// count caps it further).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `job(k)` for every shard `k in 0..shards` and returns the
+    /// results in shard-id order.
+    ///
+    /// Each shard has its own rendezvous channel; the barrier receives
+    /// them in ascending shard id, so the output order is independent of
+    /// thread scheduling. Worker threads own the senders for their shards:
+    /// a panicking worker drops its undelivered senders, the matching
+    /// `recv` errors out, and the panic propagates at the barrier instead
+    /// of deadlocking it.
+    ///
+    /// # Panics
+    /// Propagates a panic from any shard job.
+    pub fn run_sharded<T, F>(&self, shards: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.workers.min(shards);
+        if workers <= 1 {
+            return (0..shards).map(|k| job(k)).collect();
+        }
+
+        let mut senders: Vec<SyncSender<T>> = Vec::with_capacity(shards);
+        let mut receivers: Vec<Receiver<T>> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            // Buffer of one: a worker finishing a shard never blocks on
+            // the barrier having reached that shard yet.
+            let (tx, rx) = sync_channel(1);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        // Move each shard's sender into the worker that owns the shard.
+        let mut batches: Vec<Vec<(usize, SyncSender<T>)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (k, tx) in senders.into_iter().enumerate() {
+            batches[k % workers].push((k, tx)); // vp-lint: allow(g1): k % workers is always below workers, the length of batches.
+        }
+
+        std::thread::scope(|scope| {
+            for batch in batches {
+                let job = &job;
+                scope.spawn(move || {
+                    for (k, tx) in batch {
+                        // The receiver side outlives the scope; a send can
+                        // only fail if the barrier already panicked, in
+                        // which case the result is moot.
+                        let _ = tx.send(job(k));
+                    }
+                });
+            }
+            receivers
+                .iter()
+                // vp-lint: allow(h2): a shard worker panic must propagate at the barrier, not be swallowed.
+                .map(|rx| rx.recv().expect("shard worker panicked before delivering"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_shard_id_order_regardless_of_arrival() {
+        // Jobs record the order they *complete* in; the output must be in
+        // shard-id order even when completion order differs.
+        for (shards, workers) in [(1, 1), (5, 2), (7, 3), (16, 4), (4, 16)] {
+            let arrivals = AtomicUsize::new(0);
+            let exec = ShardExecutor::new(workers);
+            let out = exec.run_sharded(shards, |k| {
+                // Skew the work so higher shards tend to finish first.
+                let mut acc = 0u64;
+                for i in 0..((shards - k) * 20_000) {
+                    acc = acc.wrapping_mul(31).wrapping_add(i as u64);
+                }
+                let arrived = arrivals.fetch_add(1, Ordering::SeqCst);
+                (k, arrived, acc)
+            });
+            assert_eq!(out.len(), shards);
+            for (k, result) in out.iter().enumerate() {
+                assert_eq!(result.0, k, "slot {k} holds shard {}", result.0);
+            }
+            assert_eq!(arrivals.load(Ordering::SeqCst), shards);
+        }
+    }
+
+    #[test]
+    fn zero_shards_yields_empty() {
+        let exec = ShardExecutor::new(4);
+        let out: Vec<u32> = exec.run_sharded(0, |_| unreachable!("no shards to run"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn serial_executor_runs_inline() {
+        let exec = ShardExecutor::serial();
+        assert_eq!(exec.workers(), 1);
+        let caller = std::thread::current().id();
+        let out = exec.run_sharded(3, |k| (k, std::thread::current().id()));
+        for (k, (id, tid)) in out.iter().enumerate() {
+            assert_eq!(*id, k);
+            assert_eq!(*tid, caller, "serial executor must not spawn");
+        }
+    }
+
+    #[test]
+    fn threaded_and_serial_agree() {
+        let job = |k: usize| (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let serial: Vec<u64> = ShardExecutor::serial().run_sharded(11, job);
+        for workers in [2, 3, 8] {
+            let threaded = ShardExecutor::new(workers).run_sharded(11, job);
+            assert_eq!(serial, threaded);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard worker panicked before delivering")]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        ShardExecutor::new(2).run_sharded(4, |k| {
+            assert!(k != 2, "shard 2 explodes");
+            k
+        });
+    }
+
+    #[test]
+    fn workers_floor_at_one() {
+        assert_eq!(ShardExecutor::new(0).workers(), 1);
+        assert!(ShardExecutor::host_parallel(8).workers() >= 1);
+        assert_eq!(ShardExecutor::host_parallel(1).workers(), 1);
+    }
+}

@@ -22,12 +22,15 @@
 //! * [`oracle`] — catchment oracles: converged ([`StaticOracle`]) or with
 //!   per-round flips ([`FlippingOracle`]).
 //! * [`engine`] — the event loop, host behaviours and capture logs.
+//! * [`exec`] — the blessed OS-thread shard executor; the one module
+//!   allowed to spawn threads (DESIGN.md §14).
 //! * [`scenario`] — assembled worlds: the two-site B-Root deployment and
 //!   the nine-site Tangled testbed of Table 3.
 
 #![deny(unused_must_use)]
 
 pub mod engine;
+pub mod exec;
 pub mod faults;
 pub mod latency;
 pub mod oracle;
@@ -36,6 +39,7 @@ pub mod scenario;
 pub use engine::{
     derive_shard_seed, EngineObs, HostDelivery, NetworkSim, ServiceHandle, SimStats, SiteCapture,
 };
+pub use exec::ShardExecutor;
 pub use faults::FaultConfig;
 pub use latency::LatencyModel;
 pub use oracle::{CatchmentOracle, FlippingOracle, StaticOracle};

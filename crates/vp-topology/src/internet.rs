@@ -48,6 +48,7 @@ impl Internet {
         let mut prefixes_per_as = vec![0u32; graph.len()];
         for info in &prefixes {
             origin_table.insert(info.prefix, info.origin);
+            // vp-lint: allow(g1): prefix origins are AS ids drawn from this graph.
             prefixes_per_as[info.origin.index()] += 1;
         }
         let block_index = BlockIndex::from_pairs(

@@ -18,11 +18,12 @@ use proptest::prelude::*;
 use verfploeter_suite::bgp::SiteId;
 use verfploeter_suite::hitlist::{Hitlist, HitlistConfig};
 use verfploeter_suite::net::{BitSet, Block24, SimDuration, SimTime};
+use verfploeter_suite::sim::exec::ShardExecutor;
 use verfploeter_suite::sim::{FaultConfig, Scenario, StaticOracle};
 use verfploeter_suite::topology::TopologyConfig;
 use verfploeter_suite::vp::catchment::reference::BTreeCatchment;
 use verfploeter_suite::vp::rtt::RttTable;
-use verfploeter_suite::vp::scan::{run_scan, run_scan_sharded, ScanConfig};
+use verfploeter_suite::vp::scan::{run_scan, run_scan_sharded_on, ScanConfig};
 use verfploeter_suite::vp::CatchmentMap;
 
 /// Site chosen deterministically from the block, so overlapping pairs in
@@ -207,8 +208,10 @@ proptest! {
 }
 
 /// End-to-end: a real measured round's columnar map serializes to the
-/// exact bytes the tree engine produces from the same entries — serial and
-/// sharded at every contract shard count.
+/// exact bytes the tree engine produces from the same entries — serial,
+/// and sharded at every contract shard count on both the inline executor
+/// and real OS threads (one per shard): the columnar rows must be
+/// scheduling-independent, not just shard-count-independent.
 #[test]
 fn measured_round_matches_tree_bytes() {
     let s = Scenario::broot(TopologyConfig::tiny(4242), 7);
@@ -228,22 +231,33 @@ fn measured_round_matches_tree_bytes() {
     assert!(serial.catchments.len() > 0);
 
     for shards in [1usize, 2, 7, 16] {
-        let sharded = run_scan_sharded(
-            &s.world,
-            &hitlist,
-            &s.announcement,
-            &|| Box::new(StaticOracle::new(s.routing())),
-            FaultConfig::default(),
-            SimTime::ZERO,
-            &ScanConfig::default(),
-            0xc01,
-            shards,
-        );
-        assert_eq!(
-            sharded.catchments.to_json(),
-            tree.to_json(),
-            "K={shards} bytes"
-        );
-        assert_eq!(sharded.rtts, serial.rtts, "K={shards} rtts");
+        for (mode, exec) in [
+            ("inline", ShardExecutor::serial()),
+            ("threads", ShardExecutor::new(shards)),
+        ] {
+            let sharded = run_scan_sharded_on(
+                &exec,
+                &s.world,
+                &hitlist,
+                &s.announcement,
+                &|| Box::new(StaticOracle::new(s.routing())),
+                FaultConfig::default(),
+                SimTime::ZERO,
+                &ScanConfig::default(),
+                0xc01,
+                shards,
+            );
+            assert_eq!(
+                sharded.catchments.to_json(),
+                tree.to_json(),
+                "K={shards}/{mode} bytes"
+            );
+            assert_eq!(sharded.rtts, serial.rtts, "K={shards}/{mode} rtts");
+            assert_eq!(
+                sharded.obs.registry.to_canonical_json(),
+                serial.obs.registry.to_canonical_json(),
+                "K={shards}/{mode} merged registries"
+            );
+        }
     }
 }

@@ -24,16 +24,17 @@ fn workspace_is_lint_clean() {
 /// count pins the rule set: 21 findings in violations.rs (4 d1, 4 d2,
 /// 1 d3, 2 d4, 5 h1, 2 h2, plus the g1 on `panics` and the g2s on
 /// `entropy` and `LeakyWallClock::now_nanos`), 3 malformed-directive
-/// findings in malformed.rs, and 3 graph-rule findings in graphs.rs
+/// findings in malformed.rs, 3 graph-rule findings in graphs.rs
 /// (the cross-file g1 chain, the taint-through-allowed-helper g2, and
-/// a stale-allow g3).
+/// a stale-allow g3), and 10 concurrency findings in conc.rs (2 per
+/// c-rule, rooted in the fixture's blessed exec.rs).
 #[test]
 fn analyzer_detects_seeded_fixture_violations() {
     let ws = repo_root().join("crates/vp-lint/fixtures/ws");
     let findings = vp_lint::scan_workspace(&ws).expect("scan fixture ws");
     assert_eq!(
         findings.len(),
-        27,
+        37,
         "fixture finding count drifted:\n{}",
         vp_lint::to_text(&findings)
     );
@@ -53,14 +54,43 @@ fn analyzer_detects_seeded_fixture_violations() {
     assert_eq!(count("g1"), 2);
     assert_eq!(count("g2"), 3);
     assert_eq!(count("g3"), 1);
+    assert_eq!(count("c1"), 2);
+    assert_eq!(count("c2"), 2);
+    assert_eq!(count("c3"), 2);
+    assert_eq!(count("c4"), 2);
+    assert_eq!(count("c5"), 2);
     // Everything seeded lives in the violation files; suppressed.rs,
-    // depths.rs (only the deep end of a chain rooted elsewhere) and
+    // depths.rs (only the deep end of a chain rooted elsewhere),
+    // exec.rs (the blessed executor: c5-exempt, and only the region
+    // root of chains reported at their conc.rs entries) and
     // fixture_tests.rs must contribute nothing.
     assert!(findings.iter().all(|f| {
         f.file.ends_with("violations.rs")
             || f.file.ends_with("malformed.rs")
             || f.file.ends_with("graphs.rs")
+            || f.file.ends_with("conc.rs")
     }));
+}
+
+/// The seeded c1 chain is reported at the region entry with a witness
+/// naming every hop down to the `RefCell` construction, and the
+/// lock-order cycle names both locks of the deadlock.
+#[test]
+fn fixture_c1_witness_reaches_hazard() {
+    let ws = repo_root().join("crates/vp-lint/fixtures/ws");
+    let findings = vp_lint::scan_workspace(&ws).expect("scan fixture ws");
+    let c1 = findings
+        .iter()
+        .find(|f| f.rule.name() == "c1" && f.message.contains("shard_cell_counts"))
+        .expect("seeded c1 entry finding");
+    assert!(c1.witness.len() >= 3, "witness: {:?}", c1.witness);
+    assert!(c1.witness[0].contains("shard_cell_counts"));
+    assert!(c1.witness.last().expect("witness").contains("RefCell"));
+    let c2 = findings
+        .iter()
+        .find(|f| f.rule.name() == "c2")
+        .expect("seeded c2 cycle finding");
+    assert!(c2.message.contains("alpha_m") && c2.message.contains("beta_m"));
 }
 
 /// The g1 witness for the seeded cross-file chain names every hop:
