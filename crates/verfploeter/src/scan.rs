@@ -26,6 +26,13 @@ pub struct ScanConfig {
     /// trace summary (spans/events), never the metrics registry or any
     /// measurement output.
     pub trace: vp_obs::TraceLevel,
+    /// Optional wall-time flight channel. When a binary attaches one
+    /// (library code never constructs wall clocks — lint rule d4), the
+    /// scan records host-time phase and shard intervals into
+    /// [`ScanObs::wall_flight`]. Affects only that timeline: the
+    /// measurement outputs, the registry, and the sim-time flight channel
+    /// stay byte-identical with or without it.
+    pub wall: Option<vp_obs::WallChannel>,
 }
 
 impl Default for ScanConfig {
@@ -35,6 +42,7 @@ impl Default for ScanConfig {
             probe: ProbeConfig::default(),
             cutoff: SimDuration::from_mins(15),
             trace: vp_obs::TraceLevel::Summary,
+            wall: None,
         }
     }
 }
@@ -86,6 +94,16 @@ pub struct ScanObs {
     /// Probes assigned per shard, in shard order (length 1 for the serial
     /// path). Feeds the shard-balance section of run reports.
     pub shard_probes: Vec<u64>,
+    /// Sim-time flight timeline for the round (DESIGN.md §15): phase
+    /// intervals derived from shard-invariant sim-time marks, so it is
+    /// **inside** the §7 contract — byte-identical serial vs sharded for
+    /// every K (asserted via [`vp_obs::FlightTimeline::to_canonical_json`]).
+    pub flight: vp_obs::FlightTimeline,
+    /// Wall-time flight timeline, populated only when
+    /// [`ScanConfig::wall`] carries a channel: host-time phase spans plus
+    /// per-shard executor intervals (queue wait / compute / barrier
+    /// wait). Explicitly **outside** the determinism contract.
+    pub wall_flight: vp_obs::FlightTimeline,
 }
 
 /// RTT histogram bucket bounds in nanoseconds: 1 ms to ~25 min, growing
@@ -97,6 +115,34 @@ pub fn rtt_bucket_bounds() -> Vec<u64> {
         .to_vec()
 }
 
+/// Ring capacity for the wall-time flight recorders: generous for one
+/// round's phase + executor spans, bounded against runaway instrumentation.
+const FLIGHT_CAPACITY: usize = 4096;
+
+/// Builds the round's **sim-time** flight timeline from shard-invariant
+/// marks: round start, last probe transmission, and the final sim clock.
+/// Both scan paths derive these from merged round artifacts, so the
+/// timeline is inside the §7 contract by construction — it cannot see the
+/// shard layout at all.
+fn sim_flight(started: SimTime, last_probe: SimTime, sim_end: SimTime) -> vp_obs::FlightTimeline {
+    let t0 = started.as_nanos();
+    let tp = last_probe.as_nanos().max(t0);
+    let te = sim_end.as_nanos().max(tp);
+    let rec = vp_obs::FlightRecorder::new(Box::new(vp_obs::SimClock::new()), 16);
+    rec.record_interval("scan.round", "round", None, t0, te);
+    // Schedule walk and probe build happen while probes leave: in
+    // sim-time both occupy [start, last probe].
+    rec.record_interval("scan.schedule_walk", "probe", None, t0, tp);
+    rec.record_interval("scan.probe_build", "probe", None, t0, tp);
+    // The simulator then drains in-flight traffic until the last event.
+    rec.record_interval("scan.sim_dispatch", "sim", None, tp, te);
+    // Cleaning and catchment building run after the simulation: zero
+    // sim-time width at the round's end mark.
+    rec.record_interval("scan.cleaning", "clean", None, te, te);
+    rec.record_interval("scan.catchment_build", "map", None, te, te);
+    rec.drain()
+}
+
 /// Builds the scan's observability snapshot from per-engine sidecars plus
 /// the final (already merged, shard-invariant) round artifacts. Shared by
 /// the serial and sharded paths so their registries agree byte for byte.
@@ -106,6 +152,9 @@ fn finish_obs(
     sim_end: SimTime,
     shard_probes: Vec<u64>,
     probes_sent: u64,
+    started: SimTime,
+    last_probe: SimTime,
+    wall_flight: vp_obs::FlightTimeline,
     sim_stats: &vp_sim::SimStats,
     cleaning: &CleaningStats,
     catchments: &CatchmentMap,
@@ -118,6 +167,11 @@ fn finish_obs(
         registry.merge(engine_registry);
         trace.merge(engine_trace);
     }
+    let flight = sim_flight(started, last_probe, sim_end);
+    // Only the sim channel's overflow count may enter the registry: wall
+    // channel depth varies with the shard layout, and the registry must
+    // stay shard-count-invariant.
+    registry.counter_add("flight.dropped_records", &[], flight.dropped);
 
     let site_name = |idx: usize| {
         announcement
@@ -167,6 +221,8 @@ fn finish_obs(
         trace,
         sim_end,
         shard_probes,
+        flight,
+        wall_flight,
     }
 }
 
@@ -207,30 +263,58 @@ pub fn run_scan(
     let svc = sim.register_service(announcement.clone(), oracle, false);
     let source = announcement.measurement_addr();
 
+    // Wall-time flight channel, if the caller attached one. Guards close
+    // (and record) at the matching `drop`, so each phase's interval spans
+    // exactly the statements between its creation and drop.
+    let wall_rec = config
+        .wall
+        .clone()
+        .map(|w| vp_obs::FlightRecorder::new(Box::new(w), FLIGHT_CAPACITY));
+    let round_guard = wall_rec.as_ref().map(|r| r.span("scan.round", "round", None));
+
     let prober = Prober::new(config.probe.clone());
     let probes_sent = hitlist.len() as u64;
     let mut last_probe = start;
     let mut send_time = vec![SimTime::ZERO; hitlist.len()];
     // Stream the schedule straight into the engine: no intermediate probe
     // vector — pacing is monotone, so the last walked time is the last
-    // probe's transmission time.
+    // probe's transmission time. Probe packets are built inside the walk,
+    // so the serial path's walk span covers probe building too.
+    let guard = wall_rec
+        .as_ref()
+        .map(|r| r.span("scan.schedule_walk", "probe", None));
     prober.walk_schedule(probes_sent, start, |index, at| {
         send_time[conv::sat_usize(index)] = at; // vp-lint: allow(g1): walk indices are a permutation of this hitlist's indices.
         last_probe = at;
         sim.send_at(at, prober.build_probe(hitlist, index, source));
     });
+    drop(guard);
+    let guard = wall_rec
+        .as_ref()
+        .map(|r| r.span("scan.sim_dispatch", "sim", None));
     sim.run();
+    drop(guard);
 
     let num_sites = announcement.sites.len();
     let captures = sim.take_captures(svc);
     let by_site = split_by_site(captures, num_sites);
     let central = forward_to_central(by_site);
+    let guard = wall_rec
+        .as_ref()
+        .map(|r| r.span("scan.cleaning", "clean", None));
     let (clean_replies, cleaning) = clean(&central, hitlist, config.probe.ident, start, config.cutoff);
+    drop(guard);
+    let guard = wall_rec
+        .as_ref()
+        .map(|r| r.span("scan.catchment_build", "map", None));
     let catchments = CatchmentMap::from_replies(&config.name, &clean_replies, hitlist);
     let rtts = RttTable::from_pairs(clean_replies.iter().map(|r| {
         let block = hitlist.entry(conv::sat_usize(r.index)).block;
         (block, r.at.since(send_time[conv::sat_usize(r.index)])) // vp-lint: allow(g1): send_time is sized to the hitlist that minted r.index.
     }));
+    drop(guard);
+    drop(round_guard);
+    let wall_flight = wall_rec.map(|r| r.drain()).unwrap_or_default();
 
     let sim_stats = sim.stats();
     let sim_end = sim.now();
@@ -246,6 +330,9 @@ pub fn run_scan(
         sim_end,
         vec![probes_sent],
         probes_sent,
+        start,
+        last_probe,
+        wall_flight,
         &sim_stats,
         &cleaning,
         &catchments,
@@ -349,6 +436,16 @@ pub fn run_scan_sharded_on(
     let source = announcement.measurement_addr();
     let num_sites = announcement.sites.len();
 
+    // Orchestrator-level wall channel (shard = None): the global schedule
+    // prepass and the merge run on the calling thread. Shard workers get
+    // their own recorders inside the job closure — recorder handles are
+    // `Rc`-based and never cross a thread boundary.
+    let wall_rec = config
+        .wall
+        .clone()
+        .map(|w| vp_obs::FlightRecorder::new(Box::new(w), FLIGHT_CAPACITY));
+    let round_guard = wall_rec.as_ref().map(|r| r.span("scan.round", "round", None));
+
     // Global schedule, identical to the serial path: pacing and payload
     // indices must not depend on the shard count. One prepass walk records
     // send times and slices the schedule per shard — each shard's
@@ -361,11 +458,15 @@ pub fn run_scan_sharded_on(
     let mut last_probe = start;
     let mut send_time = vec![SimTime::ZERO; hitlist.len()];
     let mut schedule_slices: Vec<Vec<(u64, SimTime)>> = vec![Vec::new(); shards];
+    let guard = wall_rec
+        .as_ref()
+        .map(|r| r.span("scan.schedule_walk", "probe", None));
     prober.walk_schedule(probes_sent, start, |index, at| {
         send_time[conv::sat_usize(index)] = at; // vp-lint: allow(g1): walk indices are a permutation of this hitlist's indices.
         last_probe = at;
         schedule_slices[hitlist.shard_of(conv::sat_usize(index), shards)].push((index, at)); // vp-lint: allow(g1): shard_of returns a value < shards by contract.
     });
+    drop(guard);
 
     // One engine per shard, run on the blessed executor. Each engine gets
     // the same round seed (keyed fault draws must agree with the serial
@@ -383,56 +484,102 @@ pub fn run_scan_sharded_on(
         // (Send) registry + summary before crossing the thread boundary.
         obs_registry: vp_obs::Registry,
         obs_trace: vp_obs::TraceSummary,
+        // Likewise a detached (Send) snapshot of the shard's wall-time
+        // flight recorder; empty when no wall channel is attached.
+        wall_flight: vp_obs::FlightTimeline,
     }
-    let outcomes: Vec<ShardOutcome> = exec.run_sharded(shards, |k| {
-        let mut sim = NetworkSim::new_shard(world, faults.clone(), sim_seed, k as u64);
-        sim.attach_obs(config.trace);
-        let svc = sim.register_service(announcement.clone(), make_oracle(), false);
-        // Replay this shard's slice of the global schedule: identical
-        // send times and payload indices to the serial path, in the same
-        // (global walk) injection order the serial engine saw.
-        let slice = &schedule_slices[k]; // vp-lint: allow(g1): the executor only calls k < shards, the length of schedule_slices.
-        let probes = slice.len() as u64;
-        for &(index, at) in slice {
-            sim.send_at(at, prober.build_probe(hitlist, index, source));
-        }
-        sim.run();
+    let (outcomes, shard_timings): (Vec<ShardOutcome>, Vec<vp_sim::exec::ShardTiming>) = exec
+        .run_sharded_timed(
+            shards,
+            |k| {
+                let shard_id = Some(u32::try_from(k).unwrap_or(u32::MAX));
+                let shard_rec = config
+                    .wall
+                    .clone()
+                    .map(|w| vp_obs::FlightRecorder::new(Box::new(w), FLIGHT_CAPACITY));
+                let mut sim = NetworkSim::new_shard(world, faults.clone(), sim_seed, k as u64);
+                sim.attach_obs(config.trace);
+                let svc = sim.register_service(announcement.clone(), make_oracle(), false);
+                // Replay this shard's slice of the global schedule: identical
+                // send times and payload indices to the serial path, in the same
+                // (global walk) injection order the serial engine saw.
+                let slice = &schedule_slices[k]; // vp-lint: allow(g1): the executor only calls k < shards, the length of schedule_slices.
+                let probes = slice.len() as u64;
+                let guard = shard_rec
+                    .as_ref()
+                    .map(|r| r.span("scan.probe_build", "probe", shard_id));
+                for &(index, at) in slice {
+                    sim.send_at(at, prober.build_probe(hitlist, index, source));
+                }
+                drop(guard);
+                let guard = shard_rec
+                    .as_ref()
+                    .map(|r| r.span("scan.sim_dispatch", "sim", shard_id));
+                sim.run();
+                drop(guard);
 
-        let captures = sim.take_captures(svc);
-        let by_site = split_by_site(captures, num_sites);
-        // Serial site forwarding: this closure is already on a shard
-        // worker thread; nesting another pool would oversubscribe.
-        let central = forward_to_central_on(&ShardExecutor::serial(), by_site);
-        let (clean_replies, cleaning) =
-            clean(&central, hitlist, config.probe.ident, start, config.cutoff);
-        let catchments = CatchmentMap::from_replies(&config.name, &clean_replies, hitlist);
-        let rtts = RttTable::from_pairs(clean_replies.iter().map(|r| {
-            let block = hitlist.entry(conv::sat_usize(r.index)).block;
-            (block, r.at.since(send_time[conv::sat_usize(r.index)])) // vp-lint: allow(g1): send_time is sized to the hitlist that minted r.index.
-        }));
-        let sim_end = sim.now();
-        let (obs_registry, obs_trace) = match sim.take_obs() {
-            Some(engine_obs) => {
-                let trace = engine_obs.tracer.drain();
-                (engine_obs.registry, trace)
-            }
-            None => Default::default(),
-        };
-        ShardOutcome {
-            catchments,
-            cleaning,
-            rtts,
-            sim_stats: sim.stats(),
-            probes,
-            sim_end,
-            obs_registry,
-            obs_trace,
+                let captures = sim.take_captures(svc);
+                let by_site = split_by_site(captures, num_sites);
+                // Serial site forwarding: this closure is already on a shard
+                // worker thread; nesting another pool would oversubscribe.
+                let central = forward_to_central_on(&ShardExecutor::serial(), by_site);
+                let guard = shard_rec
+                    .as_ref()
+                    .map(|r| r.span("scan.cleaning", "clean", shard_id));
+                let (clean_replies, cleaning) =
+                    clean(&central, hitlist, config.probe.ident, start, config.cutoff);
+                drop(guard);
+                let guard = shard_rec
+                    .as_ref()
+                    .map(|r| r.span("scan.catchment_build", "map", shard_id));
+                let catchments = CatchmentMap::from_replies(&config.name, &clean_replies, hitlist);
+                let rtts = RttTable::from_pairs(clean_replies.iter().map(|r| {
+                    let block = hitlist.entry(conv::sat_usize(r.index)).block;
+                    (block, r.at.since(send_time[conv::sat_usize(r.index)])) // vp-lint: allow(g1): send_time is sized to the hitlist that minted r.index.
+                }));
+                drop(guard);
+                let sim_end = sim.now();
+                let (obs_registry, obs_trace) = match sim.take_obs() {
+                    Some(engine_obs) => {
+                        let trace = engine_obs.tracer.drain();
+                        (engine_obs.registry, trace)
+                    }
+                    None => Default::default(),
+                };
+                ShardOutcome {
+                    catchments,
+                    cleaning,
+                    rtts,
+                    sim_stats: sim.stats(),
+                    probes,
+                    sim_end,
+                    obs_registry,
+                    obs_trace,
+                    wall_flight: shard_rec.map(|r| r.drain()).unwrap_or_default(),
+                }
+            },
+            config
+                .wall
+                .as_ref()
+                .map(|w| w as &(dyn vp_obs::Clock + Sync)),
+        );
+
+    // Executor-level wall intervals: one queue-wait / compute / barrier-wait
+    // triple per shard, derived from the timing marks the executor read
+    // from the wall channel (empty without one).
+    if let Some(rec) = wall_rec.as_ref() {
+        for t in &shard_timings {
+            let sid = Some(u32::try_from(t.shard).unwrap_or(u32::MAX));
+            rec.record_interval("shard.queue_wait", "exec", sid, t.queued_ns, t.started_ns);
+            rec.record_interval("shard.compute", "exec", sid, t.started_ns, t.finished_ns);
+            rec.record_interval("shard.barrier_wait", "exec", sid, t.finished_ns, t.merged_ns);
         }
-    });
+    }
 
     // Deterministic merge in shard-index order (the executor's output
     // order). The shards cover disjoint hitlist slices, so the unions are
     // disjoint and the sums exact.
+    let merge_guard = wall_rec.as_ref().map(|r| r.span("scan.merge", "merge", None));
     let mut catchments = CatchmentMap::from_pairs(&config.name, std::iter::empty());
     let mut cleaning = CleaningStats::default();
     let mut rtts = RttTable::default();
@@ -440,6 +587,7 @@ pub fn run_scan_sharded_on(
     let mut sim_end = SimTime::ZERO;
     let mut shard_probes = Vec::with_capacity(outcomes.len());
     let mut engines = Vec::with_capacity(outcomes.len());
+    let mut wall_flight = vp_obs::FlightTimeline::default();
     for o in &outcomes {
         catchments.merge(&o.catchments);
         cleaning.merge(&o.cleaning);
@@ -450,12 +598,21 @@ pub fn run_scan_sharded_on(
         sim_end = sim_end.max(o.sim_end);
         shard_probes.push(o.probes);
         engines.push((o.obs_registry.clone(), o.obs_trace.clone()));
+        wall_flight.merge(&o.wall_flight);
+    }
+    drop(merge_guard);
+    drop(round_guard);
+    if let Some(rec) = wall_rec {
+        wall_flight.merge(&rec.drain());
     }
     let obs = finish_obs(
         engines,
         sim_end,
         shard_probes,
         probes_sent,
+        start,
+        last_probe,
+        wall_flight,
         &sim_stats,
         &cleaning,
         &catchments,
@@ -653,6 +810,13 @@ mod tests {
             b.obs.registry.to_canonical_json(),
             "obs registries differ"
         );
+        // The sim-time flight channel is in the contract too; the wall
+        // channel is explicitly excluded (host timing).
+        assert_eq!(
+            a.obs.flight.to_canonical_json(),
+            b.obs.flight.to_canonical_json(),
+            "sim flight timelines differ"
+        );
         assert_eq!(a.obs.sim_end, b.obs.sim_end, "sim end times differ");
     }
 
@@ -772,6 +936,47 @@ mod tests {
         let full = run(vp_obs::TraceLevel::Full);
         assert_results_identical(&summary, &full);
         assert!(summary.obs.trace.events.is_empty());
+    }
+
+    /// The sim-time flight channel tiles the round: the walk/probe spans
+    /// cover [start, last_probe], dispatch covers [last_probe, sim_end],
+    /// and the round span covers it all — with no wall channel attached,
+    /// the wall timeline stays empty.
+    #[test]
+    fn sim_flight_channel_tiles_the_round() {
+        let (s, hl) = setup();
+        let result = run_scan(
+            &s.world,
+            &hl,
+            &s.announcement,
+            Box::new(StaticOracle::new(s.routing())),
+            FaultConfig::default(),
+            SimTime::ZERO,
+            &ScanConfig::default(),
+            5,
+        );
+        let flight = &result.obs.flight;
+        assert!(result.obs.wall_flight.is_empty(), "no wall channel attached");
+        assert_eq!(flight.dropped, 0);
+        let by_name = |n: &str| {
+            flight
+                .spans
+                .iter()
+                .find(|sp| sp.name == n)
+                .unwrap_or_else(|| panic!("missing span {n}: {flight:?}"))
+        };
+        let round = by_name("scan.round");
+        assert_eq!(round.start_ns, result.started.as_nanos());
+        assert_eq!(round.end_ns, result.obs.sim_end.as_nanos());
+        let walk = by_name("scan.schedule_walk");
+        assert_eq!(walk.end_ns, result.last_probe.as_nanos());
+        let dispatch = by_name("scan.sim_dispatch");
+        assert_eq!(dispatch.start_ns, walk.end_ns);
+        assert_eq!(dispatch.end_ns, round.end_ns);
+        assert_eq!(
+            result.obs.registry.counter_value("flight.dropped_records", &[]),
+            0
+        );
     }
 
     #[test]

@@ -92,6 +92,14 @@ fn assert_identical(serial: &ScanResult, sharded: &ScanResult, label: &str) {
         serial.obs.sim_end, sharded.obs.sim_end,
         "{label}: final sim clock"
     );
+    // The sim-time flight timeline is part of the §7 contract: same
+    // canonical bytes whatever the shard layout. (The wall channel is
+    // explicitly excluded — see `wall_channel_is_outside_the_contract`.)
+    assert_eq!(
+        serial.obs.flight.to_canonical_json(),
+        sharded.obs.flight.to_canonical_json(),
+        "{label}: sim flight timelines"
+    );
 }
 
 /// Runs the full equivalence matrix over one scenario.
@@ -192,6 +200,92 @@ fn more_shards_than_targets_still_identical() {
         hl.len() + 13,
     );
     assert_identical(&serial, &sharded, "K>len");
+}
+
+/// Deterministic stand-in for a wall clock: strictly increasing ticks
+/// from a shared atomic, safe to read from every shard thread.
+struct CountingClock(std::sync::atomic::AtomicU64);
+
+impl vp_obs::Clock for CountingClock {
+    fn now_nanos(&self) -> u64 {
+        self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// Attaching a wall-time flight channel is observation, not
+/// perturbation: every §7-governed artifact — registry bytes, catchments,
+/// the sim flight timeline — must stay bit-identical to the serial run,
+/// while the wall timeline itself is explicitly outside the contract.
+#[test]
+fn wall_channel_is_outside_the_contract() {
+    let s = Scenario::broot(TopologyConfig::tiny(84), 7);
+    let hl = Hitlist::from_internet(&s.world, &HitlistConfig::default());
+    let plain = run_scan(
+        &s.world,
+        &hl,
+        &s.announcement,
+        Box::new(StaticOracle::new(s.routing())),
+        FaultConfig::default(),
+        SimTime::ZERO,
+        &ScanConfig::default(),
+        0xe903,
+    );
+    assert!(
+        plain.obs.wall_flight.is_empty(),
+        "no wall channel attached, so no wall timeline"
+    );
+    assert!(!plain.obs.flight.is_empty(), "sim channel is always on");
+
+    let wall_config = ScanConfig {
+        wall: Some(vp_obs::WallChannel::new(std::sync::Arc::new(
+            CountingClock(std::sync::atomic::AtomicU64::new(0)),
+        ))),
+        ..ScanConfig::default()
+    };
+    let serial_wall = run_scan(
+        &s.world,
+        &hl,
+        &s.announcement,
+        Box::new(StaticOracle::new(s.routing())),
+        FaultConfig::default(),
+        SimTime::ZERO,
+        &wall_config,
+        0xe903,
+    );
+    assert_identical(&plain, &serial_wall, "serial+wall");
+    assert!(
+        !serial_wall.obs.wall_flight.is_empty(),
+        "attached channel must record the serial phase intervals"
+    );
+
+    for shards in SHARD_COUNTS {
+        let sharded = run_scan_sharded_on(
+            &ShardExecutor::new(shards),
+            &s.world,
+            &hl,
+            &s.announcement,
+            &|| Box::new(StaticOracle::new(s.routing())),
+            FaultConfig::default(),
+            SimTime::ZERO,
+            &wall_config,
+            0xe903,
+            shards,
+        );
+        assert_identical(&plain, &sharded, &format!("wall/K={shards}"));
+        let compute_shards: std::collections::BTreeSet<u32> = sharded
+            .obs
+            .wall_flight
+            .spans
+            .iter()
+            .filter(|sp| sp.name == "shard.compute")
+            .filter_map(|sp| sp.shard)
+            .collect();
+        assert_eq!(
+            compute_shards.len(),
+            shards,
+            "K={shards}: every shard must report a compute interval"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -32,7 +32,9 @@
 //! Run with: `cargo run --release -p vp-bench --bin bench_scan`
 //! (`--reps <n>` per-(scale, K) repetition count, `--targets <n,n,...>`
 //! comma-separated hitlist scales, `--out <path>` to redirect the
-//! artifact).
+//! artifact, `--flight <path>` to also write a `vp-obs-flight/v1` flight
+//! document from one instrumented threaded run at the first scale —
+//! `vp-monitor profile` renders it as an attribution report).
 //!
 //! vp-bench is the one crate allowed to read wall clocks (lint rules
 //! d2/d4): timing benchmarks is exactly what real time is for.
@@ -44,7 +46,7 @@ use serde_json::Value;
 use vp_bench::{bench_hitlist, bench_scenario_scaled};
 use vp_hitlist::Hitlist;
 use vp_net::SimTime;
-use vp_obs::Histogram;
+use vp_obs::{Clock, FlightDoc, Histogram, WallChannel};
 use vp_sim::exec::ShardExecutor;
 use vp_sim::{CatchmentOracle, FaultConfig, Scenario, StaticOracle};
 use verfploeter::scan::{run_scan, run_scan_sharded_on, ScanConfig, ScanResult};
@@ -107,6 +109,57 @@ fn scan_once(
     (result, start.elapsed().as_nanos() as u64)
 }
 
+/// Wall clock behind the flight recorder's wall channel. vp-bench may
+/// read real time (lint rules d2/d4), and the wall channel never feeds a
+/// deterministic artifact — the flight doc labels it as host timing.
+struct FlightWall {
+    epoch: Instant,
+}
+
+impl Clock for FlightWall {
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// One flight-instrumented threaded scan at K=8; returns the document to
+/// write. The sim channel must match the uninstrumented reference's
+/// byte-for-byte — attaching a wall channel is observation, not
+/// perturbation (§7).
+fn flight_run(s: &Scenario, hl: &Hitlist, reference: &ScanResult, targets: u64) -> FlightDoc {
+    let table = s.routing();
+    let config = ScanConfig {
+        wall: Some(WallChannel::new(std::sync::Arc::new(FlightWall {
+            epoch: Instant::now(),
+        }))),
+        ..ScanConfig::default()
+    };
+    let shards = 8;
+    let exec = ShardExecutor::new(shards.min(MAX_WORKERS));
+    let result = run_scan_sharded_on(
+        &exec,
+        &s.world,
+        hl,
+        &s.announcement,
+        &|| Box::new(StaticOracle::new(table.clone())) as Box<dyn CatchmentOracle>,
+        FaultConfig::default(),
+        SimTime::ZERO,
+        &config,
+        0xbe9c,
+        shards,
+    );
+    assert_eq!(
+        result.obs.flight.to_canonical_json(),
+        reference.obs.flight.to_canonical_json(),
+        "sim flight channel diverged between instrumented threaded and serial runs"
+    );
+    FlightDoc {
+        source: format!("bench_scan/{targets}"),
+        sim: result.obs.flight.clone(),
+        wall: result.obs.wall_flight.clone(),
+    }
+}
+
 /// The `run` counter for this invocation: previous artifact's + 1.
 fn next_run(out: &str) -> u64 {
     let prev = std::fs::read_to_string(out)
@@ -131,6 +184,7 @@ fn main() {
     // the median and the max instead of pinning to either.
     let mut reps: u32 = 9;
     let mut out = "BENCH_scan.json".to_owned();
+    let mut flight: Option<String> = None;
     let mut scales: Vec<usize> = vec![15_000];
     let mut i = 1;
     while i < args.len() {
@@ -173,8 +227,17 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--flight" => {
+                i += 1;
+                flight = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--flight wants a path");
+                    std::process::exit(2);
+                }));
+            }
             other => {
-                eprintln!("unknown argument {other:?} (supported: --reps, --targets, --out)");
+                eprintln!(
+                    "unknown argument {other:?} (supported: --reps, --targets, --out, --flight)"
+                );
                 std::process::exit(2);
             }
         }
@@ -199,6 +262,14 @@ fn main() {
             "scaled scenario undershoots the requested block count — \
              raise num_ases in bench_scenario_scaled"
         );
+        if first_scale_targets.is_none() {
+            if let Some(path) = &flight {
+                let doc = flight_run(&s, &hl, &reference, targets);
+                std::fs::write(path, doc.to_canonical_json())
+                    .unwrap_or_else(|e| panic!("write {path}: {e}"));
+                println!("  wrote flight document to {path}");
+            }
+        }
         first_scale_targets.get_or_insert(targets);
         println!("  targets={targets}");
         for shards in SHARD_COUNTS {

@@ -1,15 +1,17 @@
 //! Runs every table/figure regenerator in one process so expensive
 //! artifacts (worlds, scans, the 96-round stability dataset) are shared.
 //! Usage: run_all [--scale tiny|small|default|paper] [--out <dir>]
-//!                [--obs off|summary|full]
+//!                [--obs off|summary|full] [--flight <dir>]
 //!
 //! With `--obs summary` (the default) or `--obs full`, each experiment
 //! writes a `vp-obs-report/v1` run report to
 //! `<out dir or results>/obs/<experiment>.report.json` covering the fresh
 //! work it triggered (cached artifacts are reported by the experiment
-//! that built them).
+//! that built them). With `--flight <dir>` it additionally writes a
+//! `vp-obs-flight/v1` flight document per experiment, with the wall-time
+//! channel driven by this binary's [`WallClock`].
 
-use vp_obs::{Clock, TraceLevel, Tracer};
+use vp_obs::{Clock, TraceLevel, Tracer, WallChannel};
 
 /// Wall-clock for the operator-facing progress display. This is the one
 /// place outside `vp-bench` where real time enters the workspace: it
@@ -36,10 +38,15 @@ impl Clock for WallClock {
 }
 
 fn main() {
-    let lab = vp_experiments::Lab::from_args();
+    let mut lab = vp_experiments::Lab::from_args();
+    // Scans record wall-time flight intervals through this channel; the
+    // timelines only reach disk when `--flight <dir>` is set, and the
+    // deterministic artifacts never see them.
+    lab.flight_wall = Some(WallChannel::new(std::sync::Arc::new(WallClock::new())));
     let tracer = Tracer::new(Box::new(WallClock::new()), TraceLevel::Summary, 16);
     for (name, run) in vp_experiments::experiments::all() {
         println!("==================== {name} ====================");
+        // vp-lint: allow(o1): experiment names come from the fixed compile-time experiment table, not unbounded input.
         let span = tracer.span(name);
         print!("{}", run(&lab));
         span.end();

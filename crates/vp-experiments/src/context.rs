@@ -106,6 +106,14 @@ pub struct Lab {
     /// (the default) writes nothing — 96 default-scale rounds are too
     /// big to emit unasked.
     pub snapshot_dir: Option<PathBuf>,
+    /// Where to write the round's `vp-obs-flight/v1` document (`--flight
+    /// <dir>`): one `<experiment>.flight.json` per experiment. `None` (the
+    /// default) writes nothing.
+    pub flight_dir: Option<PathBuf>,
+    /// Wall-time flight channel for scans, attached by binaries only
+    /// (library code cannot construct wall clocks — lint rule d4). With
+    /// `None`, scans still record the deterministic sim-time channel.
+    pub flight_wall: Option<vp_obs::WallChannel>,
     obs_state: RefCell<ObsState>,
     broot: OnceCell<Scenario>,
     tangled: OnceCell<Scenario>,
@@ -125,6 +133,8 @@ impl Lab {
             out_dir: None,
             obs: TraceLevel::Summary,
             snapshot_dir: None,
+            flight_dir: None,
+            flight_wall: None,
             obs_state: RefCell::new(ObsState::default()),
             broot: OnceCell::new(),
             tangled: OnceCell::new(),
@@ -149,6 +159,7 @@ impl Lab {
         let mut out = None;
         let mut obs = TraceLevel::Summary;
         let mut snapshots = None;
+        let mut flight = None;
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -180,9 +191,13 @@ impl Lab {
                     i += 1;
                     snapshots = args.get(i).map(PathBuf::from);
                 }
+                "--flight" => {
+                    i += 1;
+                    flight = args.get(i).map(PathBuf::from);
+                }
                 other => {
                     eprintln!(
-                        "unknown argument {other:?} (supported: --scale, --out, --obs, --snapshots)"
+                        "unknown argument {other:?} (supported: --scale, --out, --obs, --snapshots, --flight)"
                     );
                     std::process::exit(2);
                 }
@@ -193,6 +208,7 @@ impl Lab {
         lab.out_dir = out;
         lab.obs = obs;
         lab.snapshot_dir = snapshots;
+        lab.flight_dir = flight;
         lab
     }
 
@@ -295,6 +311,7 @@ impl Lab {
             },
             cutoff: SimDuration::from_mins(15),
             trace: self.obs,
+            wall: self.flight_wall.clone(),
         };
         // The sharded path is bit-identical to the serial one (see
         // `verfploeter::scan::run_scan_sharded`), so experiments get the
@@ -421,6 +438,7 @@ impl Lab {
                     },
                     cutoff: SimDuration::from_mins(15),
                     trace: self.obs,
+                    wall: self.flight_wall.clone(),
                 };
                 let result = run_scan(
                     &scenario.world,
@@ -450,10 +468,39 @@ impl Lab {
         Some(build_report(experiment, self.obs, &state))
     }
 
+    /// Drains the flight timelines accumulated since the last report and
+    /// writes them as `<flight_dir>/<experiment>.flight.json`
+    /// (`vp-obs-flight/v1`, canonical JSON). No-op unless `--flight` was
+    /// given and observability is on.
+    fn write_flight_doc(&self, experiment: &str) {
+        let Some(dir) = &self.flight_dir else { return };
+        if self.obs == TraceLevel::Off {
+            return;
+        }
+        let (sim, wall) = {
+            let mut state = self.obs_state.borrow_mut();
+            (
+                std::mem::take(&mut state.flight),
+                std::mem::take(&mut state.wall_flight),
+            )
+        };
+        let doc = vp_obs::FlightDoc {
+            source: experiment.to_owned(),
+            sim,
+            wall,
+        };
+        // vp-lint: allow(h2): an I/O failure must abort loudly, not silently drop flight docs.
+        std::fs::create_dir_all(dir).expect("create flight output dir");
+        let path = dir.join(format!("{experiment}.flight.json"));
+        std::fs::write(&path, doc.to_canonical_json())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    }
+
     /// Drains the observability state and writes the run report to
-    /// `<out_dir or "results">/obs/<experiment>.report.json`. No-op with
-    /// `--obs off`.
+    /// `<out_dir or "results">/obs/<experiment>.report.json` (plus the
+    /// flight document, when `--flight` is set). No-op with `--obs off`.
     pub fn write_obs_report(&self, experiment: &str) {
+        self.write_flight_doc(experiment);
         let Some(report) = self.take_obs_report(experiment) else {
             return;
         };

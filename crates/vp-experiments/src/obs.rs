@@ -55,6 +55,11 @@ pub struct ObsState {
     pub registry: Registry,
     /// Merged trace summaries (span aggregates + bounded event slices).
     pub trace: TraceSummary,
+    /// Merged sim-time flight timelines (deterministic, DESIGN.md §15).
+    pub flight: vp_obs::FlightTimeline,
+    /// Merged wall-time flight timelines; empty unless the binary attached
+    /// a wall channel. Outside the determinism contract.
+    pub wall_flight: vp_obs::FlightTimeline,
     /// Per-scan records in execution order.
     pub scans: Vec<ScanRecord>,
 }
@@ -64,6 +69,8 @@ impl ObsState {
     pub fn record_scan(&mut self, record: ScanRecord, obs: &ScanObs) {
         self.registry.merge(&obs.registry);
         self.trace.merge(&obs.trace);
+        self.flight.merge(&obs.flight);
+        self.wall_flight.merge(&obs.wall_flight);
         self.scans.push(record);
     }
 

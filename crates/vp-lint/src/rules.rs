@@ -9,6 +9,7 @@
 //! | h1  | no narrowing `as` casts in the hot crates (`vp-sim`, `verfploeter`, `vp-hitlist`) |
 //! | h2  | no `unwrap()`/`expect()` in library (non-test, non-bin) code |
 //! | c5  | `std::thread::spawn`/`thread::scope` only inside the blessed executor module (`crates/vp-sim/src/exec.rs`) — every other thread must go through `ShardExecutor` |
+//! | o1  | span/event names passed to `.span(`/`.event(`/`.record_span(`/`.record_interval(` must be string literals — dynamic names create unbounded metric cardinality and nondeterministic reports (applies in binaries too) |
 //! | directive | malformed `vp-lint:` directive (never suppressible) |
 //!
 //! c1–c4 (the rest of the concurrency-safety layer) are interprocedural
@@ -40,6 +41,7 @@ pub enum RuleId {
     C3,
     C4,
     C5,
+    O1,
     Directive,
 }
 
@@ -48,7 +50,7 @@ impl RuleId {
     /// table is what `vp-lint bench --budget-per-rule-ms` scales by, so a
     /// new rule automatically widens the CI budget instead of silently
     /// eating the old one.
-    pub const ALL: [RuleId; 15] = [
+    pub const ALL: [RuleId; 16] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
@@ -63,6 +65,7 @@ impl RuleId {
         RuleId::C3,
         RuleId::C4,
         RuleId::C5,
+        RuleId::O1,
         RuleId::Directive,
     ];
 
@@ -82,6 +85,7 @@ impl RuleId {
             RuleId::C3 => "c3",
             RuleId::C4 => "c4",
             RuleId::C5 => "c5",
+            RuleId::O1 => "o1",
             RuleId::Directive => "directive",
         }
     }
@@ -102,6 +106,7 @@ impl RuleId {
             "c3" => Some(RuleId::C3),
             "c4" => Some(RuleId::C4),
             "c5" => Some(RuleId::C5),
+            "o1" => Some(RuleId::O1),
             "directive" => Some(RuleId::Directive),
             _ => None,
         }
@@ -187,6 +192,10 @@ const NARROW_TYPES: [&str; 9] = [
     "u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize", "f32",
 ];
 const HASH_TYPES: [&str; 4] = ["HashMap", "HashSet", "hash_map", "hash_set"];
+/// Observability methods whose first argument names a span/event series
+/// (rule o1). A literal name keeps metric cardinality bounded and report
+/// ordering deterministic; a computed name does neither.
+const O1_NAME_METHODS: [&str; 4] = ["span", "event", "record_span", "record_interval"];
 
 /// A `pub fn merge` definition found in library code.
 #[derive(Debug, Clone)]
@@ -560,6 +569,38 @@ pub fn scan_tokens(ctx: &FileContext, tokens: &[Token], dirs: &Directives) -> Fi
                     t.ident().unwrap_or_default(),
                 ),
             );
+        }
+
+        // o1 — span/event names must be string literals. The lexer blanks
+        // string literals before tokenizing, so a literal first argument
+        // leaves `,` (or `)` for a single-argument call) directly after the
+        // opening paren; any surviving token there is a computed name.
+        // Unlike h2 this applies in binaries too: a bin's dynamic span
+        // names flow into the same artifacts and reports.
+        if t.is_punct('.')
+            && tokens.get(i + 2).is_some_and(|x| x.is_punct('('))
+        {
+            if let Some(m) = tokens.get(i + 1).and_then(Token::ident) {
+                if O1_NAME_METHODS.contains(&m)
+                    && !tokens
+                        .get(i + 3)
+                        .map_or(true, |x| x.is_punct(',') || x.is_punct(')'))
+                {
+                    let mt = &tokens[i + 1];
+                    push(
+                        dirs,
+                        &mut out,
+                        RuleId::O1,
+                        mt.line,
+                        mt.col,
+                        format!(
+                            "{m}() name must be a string literal: dynamic span/event \
+                             names create unbounded cardinality and nondeterministic \
+                             reports"
+                        ),
+                    );
+                }
+            }
         }
 
         // h2 — unwrap/expect in library code.

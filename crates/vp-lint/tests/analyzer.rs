@@ -405,6 +405,41 @@ fn h2_fires_in_libraries_but_not_bins_or_tests() {
 }
 
 #[test]
+fn o1_fires_on_dynamic_span_names_everywhere() {
+    // A literal first argument is blanked by the mask, leaving `,` or `)`
+    // right after the paren: clean.
+    assert!(fired("fn f(t: &T) { t.span(\"scan.round\", \"round\", None); }\n").is_empty());
+    assert!(fired("fn f(t: &T) { t.event(\"mark\"); }\n").is_empty());
+    // Any surviving token is a computed name: ident, reference, macro.
+    assert_eq!(fired("fn f(t: &T, n: &str) { t.span(n); }\n"), [RuleId::O1]);
+    assert_eq!(fired("fn f(t: &T, n: String) { t.record_span(&n, 1); }\n"), [RuleId::O1]);
+    assert_eq!(
+        fired("fn f(t: &T, k: u32) { t.event(format!(\"p-{k}\")); }\n"),
+        [RuleId::O1]
+    );
+    assert_eq!(
+        fired("fn f(t: &T, n: &str) { t.record_interval(n, \"p\", None, 0, 1); }\n"),
+        [RuleId::O1]
+    );
+    // Unlike h2, binaries are not exempt: their names reach the artifacts.
+    let bin = FileContext::from_rel_path("crates/vp-sim/src/bin/tool.rs");
+    let src = "fn f(t: &T, n: &str) { t.span(n); }\n";
+    assert_eq!(
+        rules::scan_file(&bin, src)
+            .findings
+            .iter()
+            .map(|f| f.rule)
+            .collect::<Vec<_>>(),
+        [RuleId::O1]
+    );
+    // Free functions named `span` are not policed (no leading dot), and
+    // an allow suppresses the method form.
+    assert!(fired("fn f(n: &str) { span(n); }\n").is_empty());
+    let allowed = "fn f(t: &T, n: &str) {\n    // vp-lint: allow(o1): names come from a fixed table.\n    t.span(n);\n}\n";
+    assert!(fired(allowed).is_empty());
+}
+
+#[test]
 fn cfg_test_blocks_are_exempt() {
     let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f(v: Option<u32>) { v.unwrap(); }\n}\n";
     assert!(fired(src).is_empty());

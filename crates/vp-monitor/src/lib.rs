@@ -30,8 +30,14 @@
 //!    (`results/monitor/bench_baseline.json`) with a noise-aware
 //!    min-of-reps rule; `scripts/check.sh` runs it as a gate.
 //!
+//! 5. **Flight-recorder profiler** ([`profile`]) — parses
+//!    `vp-obs-flight/v1` documents from the scan engine's flight recorder
+//!    and renders the attribution report (`vp-monitor profile`): per-phase
+//!    self/total times, per-shard compute imbalance in permille, and a
+//!    slowest-shard critical-path estimate.
+//!
 //! The `vp-monitor` binary exposes all of it: `diff`, `watch`,
-//! `check-bench`, `validate`.
+//! `check-bench`, `validate`, `profile`.
 
 #![deny(unused_must_use)]
 
@@ -40,6 +46,7 @@ pub mod bench;
 pub mod diff;
 pub mod ingest;
 pub mod pipeline;
+pub mod profile;
 pub mod schema;
 
 pub use alert::{Alert, AlertConfig, Evaluator};
@@ -47,3 +54,4 @@ pub use bench::{check_bench, BenchRun, BenchVerdict};
 pub use diff::{diff_rounds, diff_sequence, DriftSummary, Origins, RoundDiff};
 pub use ingest::{load_obs_report, load_rounds_dir, ObsReportDoc, ScanSummary};
 pub use pipeline::{run_diff_pipeline, DiffOutput};
+pub use profile::{parse_flight_doc, profile_channel, render_report, ChannelProfile, PhaseRow};

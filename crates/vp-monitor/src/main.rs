@@ -8,6 +8,7 @@
 //! vp-monitor check-bench --current <BENCH_scan.json> --baseline <file>
 //!                        [--append <file>] [--host-factor <permille>]
 //! vp-monitor validate <file>...
+//! vp-monitor profile <flight.json> [--top <n>] [--chrome <out.json>]
 //! ```
 //!
 //! * `diff` runs the whole pipeline over a snapshot directory and writes
@@ -21,7 +22,11 @@
 //!   allowance for a host vouched 1.3× slower than the baseline machine,
 //!   so portable baselines don't false-fail on slow CI boxes.
 //! * `validate` checks any tagged document (obs report, drift, alert,
-//!   bench baseline) against its embedded schema snapshot.
+//!   bench baseline, flight) against its embedded schema snapshot.
+//! * `profile` renders the attribution report for a `vp-obs-flight/v1`
+//!   document — per-phase self/total times, per-shard compute imbalance,
+//!   critical-path estimate — and with `--chrome` also writes a
+//!   chrome://tracing / Perfetto-loadable trace.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -32,18 +37,20 @@ use vp_monitor::bench::{build_baseline_doc, check_bench_scaled, parse_baseline, 
 use vp_monitor::diff::Origins;
 use vp_monitor::ingest::{load_obs_report, load_origins_sidecar, load_rounds_dir};
 use vp_monitor::pipeline::run_diff_pipeline;
+use vp_monitor::profile::{parse_flight_doc, render_report};
 use vp_monitor::schema::validate_tagged;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: vp-monitor <diff|watch|check-bench|validate> [options]\n\
+        "usage: vp-monitor <diff|watch|check-bench|validate|profile> [options]\n\
          \n\
          diff        --rounds <dir> [--origins <file>] [--obs-report <file>]\n\
          \x20           [--source <name>] [--out <dir>]\n\
          watch       --rounds <dir> [--origins <file>] [--obs-report <file>]\n\
          check-bench --current <file> --baseline <file> [--append <file>]\n\
          \x20           [--host-factor <permille>]\n\
-         validate    <file>..."
+         validate    <file>...\n\
+         profile     <flight.json> [--top <n>] [--chrome <out.json>]"
     );
     ExitCode::from(2)
 }
@@ -270,6 +277,56 @@ fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_profile(args: &[String]) -> Result<ExitCode, String> {
+    let mut file = None;
+    let mut top_n = 8usize;
+    let mut chrome = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} wants a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--top" => {
+                top_n = value(i)?.parse().map_err(|e| format!("--top: {e}"))?;
+                i += 2;
+            }
+            "--chrome" => {
+                chrome = Some(PathBuf::from(value(i)?));
+                i += 2;
+            }
+            other if file.is_none() && !other.starts_with("--") => {
+                file = Some(PathBuf::from(other));
+                i += 1;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let file = file.ok_or("profile wants a flight document path")?;
+    let name = file.display().to_string();
+    let text =
+        std::fs::read_to_string(&file).map_err(|e| format!("cannot read {name}: {e}"))?;
+    let value = serde_json::from_str(&text).map_err(|e| format!("{name}: invalid JSON: {e}"))?;
+    // A document that fails its schema could still half-parse; refuse it
+    // outright so the report never quietly elides fields.
+    let errors = validate_tagged(&value);
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("{name}: {e}");
+        }
+        return Err(format!("{name}: not a valid vp-obs-flight/v1 document"));
+    }
+    let doc = parse_flight_doc(&value, &name)?;
+    print!("{}", render_report(&doc, top_n));
+    if let Some(path) = chrome {
+        std::fs::write(&path, doc.to_chrome_trace())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("wrote chrome trace to {}", path.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     // vp-lint: allow(d2): the CLI reads its own argv; no measurement-path entropy.
     let args: Vec<String> = std::env::args().collect();
@@ -282,6 +339,7 @@ fn main() -> ExitCode {
         "watch" => cmd_watch(rest),
         "check-bench" => cmd_check_bench(rest),
         "validate" => cmd_validate(rest),
+        "profile" => cmd_profile(rest),
         _ => return usage(),
     };
     match result {

@@ -23,6 +23,8 @@ pub const DRIFT_SCHEMA: &str = include_str!("../schema/drift.schema.json");
 pub const ALERT_SCHEMA: &str = include_str!("../schema/alert.schema.json");
 /// Schema snapshot for `vp-bench-baseline/v1` trajectories.
 pub const BENCH_BASELINE_SCHEMA: &str = include_str!("../schema/bench_baseline.schema.json");
+/// Schema snapshot for `vp-obs-flight/v1` flight-recorder documents.
+pub const FLIGHT_SCHEMA: &str = include_str!("../schema/flight.schema.json");
 
 /// Picks the embedded schema for a document by its `schema` tag.
 pub fn schema_for(tag: &str) -> Option<&'static str> {
@@ -31,6 +33,7 @@ pub fn schema_for(tag: &str) -> Option<&'static str> {
         "vp-monitor-drift/v1" => Some(DRIFT_SCHEMA),
         "vp-monitor-alert/v1" => Some(ALERT_SCHEMA),
         "vp-bench-baseline/v1" => Some(BENCH_BASELINE_SCHEMA),
+        "vp-obs-flight/v1" => Some(FLIGHT_SCHEMA),
         _ => None,
     }
 }
@@ -168,6 +171,7 @@ mod tests {
             ("vp-monitor-drift/v1", DRIFT_SCHEMA),
             ("vp-monitor-alert/v1", ALERT_SCHEMA),
             ("vp-bench-baseline/v1", BENCH_BASELINE_SCHEMA),
+            ("vp-obs-flight/v1", FLIGHT_SCHEMA),
         ] {
             assert!(
                 serde_json::from_str::<Value>(text).is_ok(),

@@ -1,0 +1,101 @@
+//! Gates on the committed golden flight document
+//! (`results/obs/flight_scan15k.json`, written by `bench_scan --flight`):
+//! it must validate against the embedded `vp-obs-flight/v1` schema, its
+//! sim channel must obey the attribution algebra (phase self-times tile
+//! the round exactly), its wall channel must carry per-shard executor
+//! spans, and the chrome-trace export must be well-formed JSON.
+
+use serde_json::Value;
+use vp_monitor::profile::{parse_flight_doc, profile_channel, render_report};
+use vp_monitor::schema::validate_tagged;
+
+const GOLDEN: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/obs/flight_scan15k.json"
+));
+
+fn golden() -> vp_obs::FlightDoc {
+    let value: Value =
+        serde_json::from_str(GOLDEN).unwrap_or_else(|e| panic!("golden is not JSON: {e}"));
+    assert_eq!(
+        validate_tagged(&value),
+        Vec::<String>::new(),
+        "golden flight doc fails its schema"
+    );
+    parse_flight_doc(&value, "flight_scan15k.json").unwrap_or_else(|e| panic!("{e}"))
+}
+
+#[test]
+fn sim_channel_self_times_tile_the_round() {
+    let doc = golden();
+    assert!(
+        doc.sim.spans.len() >= 6,
+        "sim channel should carry the six engine-phase spans, got {}",
+        doc.sim.spans.len()
+    );
+    assert_eq!(doc.sim.dropped, 0, "sim ring must never overflow");
+    let p = profile_channel(&doc.sim, 8);
+    assert!(p.root_ns > 0, "sim round span must be non-empty");
+    let self_sum: u64 = p.phases.iter().map(|r| r.self_ns).sum();
+    assert_eq!(
+        self_sum, p.root_ns,
+        "sim phase self-times must sum exactly to the round total"
+    );
+    // The sim channel has no shard-attributed spans: imbalance is a
+    // wall-channel statistic.
+    assert_eq!(p.imbalance_permille, None);
+}
+
+#[test]
+fn wall_channel_reports_per_shard_imbalance() {
+    let doc = golden();
+    let p = profile_channel(&doc.wall, 8);
+    assert!(
+        !p.shards.is_empty(),
+        "wall channel must carry per-shard executor spans"
+    );
+    assert_eq!(p.shards.len(), 8, "bench flight run shards at K=8");
+    for (i, &(k, _)) in p.shards.iter().enumerate() {
+        assert_eq!(k as usize, i, "shard compute rows must be id-ordered");
+    }
+    assert!(p.imbalance_permille.is_some());
+    assert!(p.imbalance_permille.unwrap_or(0) <= 1000);
+    assert!(p.critical_path_ns.is_some());
+    assert!(
+        doc.wall
+            .spans
+            .iter()
+            .any(|s| s.name == "shard.compute" && s.shard.is_some()),
+        "wall channel must include shard.compute intervals"
+    );
+}
+
+#[test]
+fn report_covers_both_channels() {
+    let doc = golden();
+    let text = render_report(&doc, 5);
+    assert!(text.contains("== sim channel"), "{text}");
+    assert!(text.contains("== wall channel"), "{text}");
+    assert!(text.contains("scan.round"), "{text}");
+    assert!(text.contains("imbalance"), "{text}");
+}
+
+#[test]
+fn chrome_trace_export_is_valid_json() {
+    let doc = golden();
+    let trace: Value = serde_json::from_str(&doc.to_chrome_trace())
+        .unwrap_or_else(|e| panic!("chrome trace is not valid JSON: {e}"));
+    let events = trace
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| panic!("chrome trace has no traceEvents array"));
+    assert!(!events.is_empty());
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(Value::as_str), Some("X"));
+        assert!(ev.get("name").and_then(Value::as_str).is_some());
+        let pid = ev.get("pid").and_then(Value::as_u64);
+        assert!(pid == Some(1) || pid == Some(2), "pid 1=sim, 2=wall");
+    }
+    // Round-tripping the golden through parse keeps the canonical bytes.
+    assert_eq!(doc.to_canonical_json(), GOLDEN);
+}

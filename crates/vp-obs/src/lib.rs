@@ -21,8 +21,10 @@
 
 #![deny(unused_must_use)]
 
+pub mod flight;
 pub mod metrics;
 pub mod trace;
 
+pub use flight::{FlightDoc, FlightGuard, FlightRecorder, FlightSpan, FlightTimeline, WallChannel};
 pub use metrics::{Counter, Gauge, Histogram, Metric, MetricKey, Registry};
 pub use trace::{Clock, Event, SimClock, Span, SpanAgg, TraceLevel, TraceSummary, Tracer};

@@ -411,11 +411,23 @@ impl Registry {
     /// histograms expand to cumulative `_bucket{le=...}` plus `_sum` and
     /// `_count` series. Ordering follows the registry's canonical order.
     pub fn to_prometheus_text(&self) -> String {
+        self.to_prometheus_text_with_help(&BTreeMap::new())
+    }
+
+    /// [`Registry::to_prometheus_text`] with an optional per-metric help
+    /// map, keyed by the *recorded* metric name (pre-sanitization, e.g.
+    /// `"scan.probes"`). Metrics with an entry get a `# HELP` line before
+    /// their `# TYPE`; backslashes and newlines in the help text are
+    /// escaped per the exposition format.
+    pub fn to_prometheus_text_with_help(&self, help: &BTreeMap<String, String>) -> String {
         let mut out = String::new();
         let mut last_name = String::new();
         for (key, metric) in &self.metrics {
             let name = prom_name(&key.name);
             if name != last_name {
+                if let Some(text) = help.get(&key.name) {
+                    let _ = writeln!(out, "# HELP {name} {}", prom_help_escape(text));
+                }
                 let _ = writeln!(out, "# TYPE {name} {}", metric.kind());
                 last_name = name.clone();
             }
@@ -464,6 +476,12 @@ fn u64_array(values: &[u64]) -> String {
     }
     out.push(']');
     out
+}
+
+/// `# HELP` value escaping per the text exposition format: only `\` and
+/// newline are special.
+fn prom_help_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 fn prom_name(name: &str) -> String {
@@ -702,5 +720,61 @@ mod tests {
         assert!(text.contains("rtt_ns_bucket{le=\"10\"} 1"), "{text}");
         assert!(text.contains("rtt_ns_bucket{le=\"+Inf\"} 2"), "{text}");
         assert!(text.contains("rtt_ns_count 2"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_help_lines_precede_type_once_per_name() {
+        let mut r = Registry::new();
+        r.counter_add("scan.probes", &[("site", "LAX")], 7);
+        r.counter_add("scan.probes", &[("site", "MIA")], 3);
+        r.gauge_add("queue.depth", &[], 2);
+        let mut help = BTreeMap::new();
+        help.insert(
+            "scan.probes".to_owned(),
+            "Probes sent per site.".to_owned(),
+        );
+        let text = r.to_prometheus_text_with_help(&help);
+        // One HELP line per metric name (not per label set), directly
+        // before its TYPE line; unhelped metrics keep just the TYPE line.
+        let lines: Vec<&str> = text.lines().collect();
+        let help_idx = lines
+            .iter()
+            .position(|l| *l == "# HELP scan_probes Probes sent per site.")
+            .unwrap_or_else(|| panic!("missing HELP line: {text}"));
+        assert_eq!(lines.get(help_idx + 1), Some(&"# TYPE scan_probes counter"));
+        assert_eq!(
+            text.matches("# HELP").count(),
+            1,
+            "HELP must appear once per name run: {text}"
+        );
+        assert!(text.contains("# TYPE queue_depth gauge"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_help_escapes_backslashes_and_newlines() {
+        let mut r = Registry::new();
+        r.counter_add("c", &[], 1);
+        let mut help = BTreeMap::new();
+        help.insert("c".to_owned(), "path C:\\scan\nsecond line".to_owned());
+        let text = r.to_prometheus_text_with_help(&help);
+        assert!(
+            text.contains("# HELP c path C:\\\\scan\\nsecond line"),
+            "help not escaped: {text}"
+        );
+        // The escaped help must stay a single physical line.
+        let help_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# HELP")).collect();
+        assert_eq!(help_lines.len(), 1, "{text}");
+    }
+
+    #[test]
+    fn prometheus_without_help_matches_empty_help_map() {
+        let mut r = Registry::new();
+        r.counter_add("c", &[], 1);
+        r.histogram_observe("h", &[], &[10], 5);
+        assert_eq!(
+            r.to_prometheus_text(),
+            r.to_prometheus_text_with_help(&BTreeMap::new())
+        );
+        assert!(!r.to_prometheus_text().contains("# HELP"));
     }
 }

@@ -227,17 +227,35 @@ pub struct Span {
 }
 
 impl Span {
-    /// Closes the span now (equivalent to dropping it).
-    pub fn end(self) {}
+    /// Closes the span now. Equivalent to dropping the guard; either way
+    /// the interval is recorded exactly once — the `Drop` that runs after
+    /// an explicit `end` finds the tracer handle already taken and does
+    /// nothing.
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        let Some(tracer) = self.tracer.take() else {
+            return;
+        };
+        let mut inner = tracer.inner.borrow_mut();
+        if inner.level == TraceLevel::Off {
+            return;
+        }
+        let end = inner.clock.now_nanos();
+        let dur = end.saturating_sub(self.start);
+        inner
+            .spans
+            .entry(std::mem::take(&mut self.name))
+            .or_default()
+            .record(dur);
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let Some(tracer) = self.tracer.take() else {
-            return;
-        };
-        let end = tracer.inner.borrow().clock.now_nanos();
-        tracer.record_span(&self.name, self.start, end);
+        self.finish();
     }
 }
 
@@ -332,6 +350,34 @@ mod tests {
         assert_eq!(agg.count, 2);
         assert_eq!(agg.total_nanos, 80);
         assert_eq!(agg.max_nanos, 50);
+    }
+
+    /// The RAII guard records exactly once whether it is ended explicitly
+    /// or dropped, and nested guards record in drop order (inner first),
+    /// each at its own clock reading.
+    #[test]
+    fn span_guard_records_once_in_drop_order() {
+        let clock = SimClock::new();
+        let t = Tracer::new(Box::new(clock.clone()), TraceLevel::Summary, 8);
+        clock.set(10);
+        let outer = t.span("outer");
+        clock.set(20);
+        {
+            let _inner = t.span("inner");
+            clock.set(35);
+            // `_inner` drops here, at t=35.
+        }
+        clock.set(50);
+        outer.end();
+        // An explicit end must not be followed by a second record from the
+        // guard's Drop: each span has exactly one interval.
+        let sum = t.summary();
+        let outer_agg = sum.spans.get("outer").copied().unwrap_or_default();
+        let inner_agg = sum.spans.get("inner").copied().unwrap_or_default();
+        assert_eq!(outer_agg.count, 1, "outer recorded more than once");
+        assert_eq!(outer_agg.total_nanos, 40);
+        assert_eq!(inner_agg.count, 1, "inner recorded more than once");
+        assert_eq!(inner_agg.total_nanos, 15);
     }
 
     #[test]

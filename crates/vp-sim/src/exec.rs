@@ -15,6 +15,32 @@
 
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
+use vp_obs::Clock;
+
+/// Wall-channel marks for one shard's trip through the executor, read
+/// from a caller-supplied [`Clock`] (the executor itself never touches a
+/// wall clock — lint rule d4). The three derived intervals:
+///
+/// * queue wait  = `started_ns - queued_ns` (job waited for a worker),
+/// * compute     = `finished_ns - started_ns` (the job itself),
+/// * barrier wait = `merged_ns - finished_ns` (result waited for the
+///   shard-id-ordered barrier to reach it).
+///
+/// These are observability only: they are outside the §7 determinism
+/// contract and never feed back into scan results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTiming {
+    pub shard: usize,
+    /// When the shard's job became runnable (before worker pickup).
+    pub queued_ns: u64,
+    /// When a worker started executing the job.
+    pub started_ns: u64,
+    /// When the job returned its result.
+    pub finished_ns: u64,
+    /// When the barrier received the result (shard-id order).
+    pub merged_ns: u64,
+}
+
 /// A bounded pool of OS worker threads that runs one job per shard and
 /// returns the results **indexed by shard id**, never by arrival order.
 ///
@@ -76,13 +102,52 @@ impl ShardExecutor {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.run_sharded_timed(shards, job, None).0
+    }
+
+    /// [`ShardExecutor::run_sharded`] plus per-shard executor timings read
+    /// from `clock`. With `clock: None` the timing vector is empty and the
+    /// call behaves exactly like `run_sharded`; with a clock, one
+    /// [`ShardTiming`] per shard comes back in shard-id order. The clock
+    /// is read outside the result path, so attaching one cannot perturb
+    /// the §7 bit-equivalence contract.
+    pub fn run_sharded_timed<T, F>(
+        &self,
+        shards: usize,
+        job: F,
+        clock: Option<&(dyn Clock + Sync)>,
+    ) -> (Vec<T>, Vec<ShardTiming>)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let now = |clock: Option<&(dyn Clock + Sync)>| clock.map_or(0, |c| c.now_nanos());
         let workers = self.workers.min(shards);
         if workers <= 1 {
-            return (0..shards).map(|k| job(k)).collect();
+            let mut results = Vec::with_capacity(shards);
+            let mut timings = Vec::new();
+            for k in 0..shards {
+                // Inline: the job is picked up the moment it is queued and
+                // merged the moment it finishes.
+                let queued_ns = now(clock);
+                let result = job(k);
+                let finished_ns = now(clock);
+                results.push(result);
+                if clock.is_some() {
+                    timings.push(ShardTiming {
+                        shard: k,
+                        queued_ns,
+                        started_ns: queued_ns,
+                        finished_ns,
+                        merged_ns: finished_ns,
+                    });
+                }
+            }
+            return (results, timings);
         }
 
-        let mut senders: Vec<SyncSender<T>> = Vec::with_capacity(shards);
-        let mut receivers: Vec<Receiver<T>> = Vec::with_capacity(shards);
+        let mut senders: Vec<SyncSender<(T, u64, u64)>> = Vec::with_capacity(shards);
+        let mut receivers: Vec<Receiver<(T, u64, u64)>> = Vec::with_capacity(shards);
         for _ in 0..shards {
             // Buffer of one: a worker finishing a shard never blocks on
             // the barrier having reached that shard yet.
@@ -92,29 +157,48 @@ impl ShardExecutor {
         }
 
         // Move each shard's sender into the worker that owns the shard.
-        let mut batches: Vec<Vec<(usize, SyncSender<T>)>> =
+        let mut batches: Vec<Vec<(usize, SyncSender<(T, u64, u64)>)>> =
             (0..workers).map(|_| Vec::new()).collect();
         for (k, tx) in senders.into_iter().enumerate() {
             batches[k % workers].push((k, tx)); // vp-lint: allow(g1): k % workers is always below workers, the length of batches.
         }
 
+        // All jobs are queued before any worker is spawned.
+        let queued_ns = now(clock);
         std::thread::scope(|scope| {
             for batch in batches {
                 let job = &job;
                 scope.spawn(move || {
                     for (k, tx) in batch {
+                        let started_ns = now(clock);
+                        let result = job(k);
+                        let finished_ns = now(clock);
                         // The receiver side outlives the scope; a send can
                         // only fail if the barrier already panicked, in
                         // which case the result is moot.
-                        let _ = tx.send(job(k));
+                        let _ = tx.send((result, started_ns, finished_ns));
                     }
                 });
             }
-            receivers
-                .iter()
-                // vp-lint: allow(h2): a shard worker panic must propagate at the barrier, not be swallowed.
-                .map(|rx| rx.recv().expect("shard worker panicked before delivering"))
-                .collect()
+            let mut results = Vec::with_capacity(shards);
+            let mut timings = Vec::new();
+            for (k, rx) in receivers.iter().enumerate() {
+                let (result, started_ns, finished_ns) = rx
+                    .recv()
+                    // vp-lint: allow(h2): a shard worker panic must propagate at the barrier, not be swallowed.
+                    .expect("shard worker panicked before delivering");
+                results.push(result);
+                if clock.is_some() {
+                    timings.push(ShardTiming {
+                        shard: k,
+                        queued_ns,
+                        started_ns,
+                        finished_ns,
+                        merged_ns: now(clock),
+                    });
+                }
+            }
+            (results, timings)
         })
     }
 }
@@ -191,5 +275,47 @@ mod tests {
         assert_eq!(ShardExecutor::new(0).workers(), 1);
         assert!(ShardExecutor::host_parallel(8).workers() >= 1);
         assert_eq!(ShardExecutor::host_parallel(1).workers(), 1);
+    }
+
+    /// A monotone atomic test clock (tests are exempt from lint rule d2;
+    /// no wall clock is involved anyway).
+    struct TickClock(std::sync::atomic::AtomicU64);
+
+    impl Clock for TickClock {
+        fn now_nanos(&self) -> u64 {
+            self.0.fetch_add(1, Ordering::SeqCst)
+        }
+    }
+
+    #[test]
+    fn timed_run_returns_ordered_monotone_timings() {
+        let clock = TickClock(std::sync::atomic::AtomicU64::new(1));
+        for workers in [1, 2, 4] {
+            let exec = ShardExecutor::new(workers);
+            let (results, timings) =
+                exec.run_sharded_timed(7, |k| k * 10, Some(&clock));
+            assert_eq!(results, (0..7).map(|k| k * 10).collect::<Vec<_>>());
+            assert_eq!(timings.len(), 7);
+            for (k, t) in timings.iter().enumerate() {
+                assert_eq!(t.shard, k, "timings must be in shard-id order");
+                assert!(t.queued_ns <= t.started_ns, "{t:?}");
+                assert!(t.started_ns < t.finished_ns, "{t:?}");
+                assert!(t.finished_ns <= t.merged_ns, "{t:?}");
+            }
+            // The barrier merges in shard-id order, so merge times are
+            // nondecreasing across shards.
+            for pair in timings.windows(2) {
+                assert!(pair[0].merged_ns <= pair[1].merged_ns, "{pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn timed_run_without_clock_matches_untimed() {
+        let job = |k: usize| (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let exec = ShardExecutor::new(3);
+        let (results, timings) = exec.run_sharded_timed(9, job, None);
+        assert!(timings.is_empty(), "no clock must mean no timings");
+        assert_eq!(results, exec.run_sharded(9, job));
     }
 }

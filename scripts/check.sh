@@ -23,7 +23,7 @@ cargo test -q --test columnar_equivalence
 # least one edge), and a full scan must stay inside the tier-1 wall-time
 # budget so the lint_gate test never becomes the slow step. The budget is
 # per-rule so adding a rule grows the allowance instead of silently
-# eating the remaining headroom of a hard constant (15 rules ≈ 2s today).
+# eating the remaining headroom of a hard constant (16 rules ≈ 2s today).
 cargo run -q --release -p vp-lint -- graph --dot | head -n 20 | grep -q "^digraph"
 cargo run -q --release -p vp-lint -- bench --reps 3 --budget-per-rule-ms 135
 
@@ -40,7 +40,10 @@ cargo build -q --release -p vp-monitor
 vp_monitor="target/release/vp-monitor"
 
 # Every committed tagged document must conform to its embedded schema.
+# The flight golden is named explicitly: the *.report.json glob does not
+# match it, and the flight_golden tests byte-compare against it.
 "$vp_monitor" validate results/obs/*.report.json \
+    results/obs/flight_scan15k.json \
     results/monitor/fig9_tiny.drift.json \
     results/monitor/fig9_tiny.alerts.json \
     results/monitor/bench_baseline.json >/dev/null
@@ -82,9 +85,18 @@ diff -u results/monitor/fig9_tiny.alerts.json "$mon_dir/monitor/alerts.json"
 bench_dir="target/bench-check"
 rm -rf "$bench_dir" && mkdir -p "$bench_dir"
 cargo run -q --release -p vp-bench --bin bench_scan -- \
-    --reps 3 --targets 15000 --out "$bench_dir/BENCH_scan.json" >/dev/null
+    --reps 3 --targets 15000 --out "$bench_dir/BENCH_scan.json" \
+    --flight "$bench_dir/flight_scan15k.json" >/dev/null
 "$vp_monitor" check-bench --current "$bench_dir/BENCH_scan.json" \
     --baseline results/monitor/bench_baseline.json \
     --host-factor "${VP_HOST_FACTOR:-1000}"
 
-echo "check.sh: build + tests + lint + obs reports + monitor gates all clean"
+# The fresh flight document (written to $bench_dir — never over the
+# committed golden, which the flight_golden tests byte-compare) must
+# validate against the vp-obs-flight/v1 schema and profile cleanly:
+# the attribution report names the engine round and shard imbalance.
+"$vp_monitor" validate "$bench_dir/flight_scan15k.json" >/dev/null
+"$vp_monitor" profile "$bench_dir/flight_scan15k.json" | grep -q "scan.round"
+"$vp_monitor" profile "$bench_dir/flight_scan15k.json" | grep -q "imbalance"
+
+echo "check.sh: build + tests + lint + obs + flight + monitor gates all clean"

@@ -21,8 +21,8 @@ fn workspace_is_lint_clean() {
 }
 
 /// The analyzer still fires on the seeded fixture workspace. The exact
-/// count pins the rule set: 21 findings in violations.rs (4 d1, 4 d2,
-/// 1 d3, 2 d4, 5 h1, 2 h2, plus the g1 on `panics` and the g2s on
+/// count pins the rule set: 23 findings in violations.rs (4 d1, 4 d2,
+/// 1 d3, 2 d4, 5 h1, 2 h2, 2 o1, plus the g1 on `panics` and the g2s on
 /// `entropy` and `LeakyWallClock::now_nanos`), 3 malformed-directive
 /// findings in malformed.rs, 3 graph-rule findings in graphs.rs
 /// (the cross-file g1 chain, the taint-through-allowed-helper g2, and
@@ -34,7 +34,7 @@ fn analyzer_detects_seeded_fixture_violations() {
     let findings = vp_lint::scan_workspace(&ws).expect("scan fixture ws");
     assert_eq!(
         findings.len(),
-        37,
+        39,
         "fixture finding count drifted:\n{}",
         vp_lint::to_text(&findings)
     );
@@ -59,6 +59,7 @@ fn analyzer_detects_seeded_fixture_violations() {
     assert_eq!(count("c3"), 2);
     assert_eq!(count("c4"), 2);
     assert_eq!(count("c5"), 2);
+    assert_eq!(count("o1"), 2);
     // Everything seeded lives in the violation files; suppressed.rs,
     // depths.rs (only the deep end of a chain rooted elsewhere),
     // exec.rs (the blessed executor: c5-exempt, and only the region
