@@ -41,7 +41,17 @@ impl Scale {
         }
     }
 
-    fn topology(self, seed: u64) -> TopologyConfig {
+    /// The scale's name, as `--scale` spells it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Default => "default",
+            Scale::Paper => "paper",
+        }
+    }
+
+    pub(crate) fn topology(self, seed: u64) -> TopologyConfig {
         match self {
             Scale::Tiny => TopologyConfig::tiny(seed),
             Scale::Small => TopologyConfig {
@@ -87,9 +97,9 @@ fn scan_shards() -> usize {
 }
 
 const BROOT_TOPO_SEED: u64 = 0xB007;
-const TANGLED_TOPO_SEED: u64 = 0x7A9;
-const POLICY_SEED: u64 = 0x90;
-const FLIP_SEED: u64 = 0xF11;
+pub(crate) const TANGLED_TOPO_SEED: u64 = 0x7A9;
+pub(crate) const POLICY_SEED: u64 = 0x90;
+pub(crate) const FLIP_SEED: u64 = 0xF11;
 
 /// Lazily built, cached experiment artifacts.
 pub struct Lab {

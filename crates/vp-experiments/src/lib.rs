@@ -13,8 +13,10 @@
 //! targets: who wins, by what rough factor, where the crossovers fall.
 
 pub mod context;
+pub mod daemon;
 pub mod experiments;
 pub mod monitor;
 pub mod obs;
 
 pub use context::{Lab, Scale};
+pub use daemon::{Daemon, DaemonConfig};

@@ -281,22 +281,31 @@ impl Evaluator {
         transitions
     }
 
+    /// Live view of the alert state *as of the last observed round*:
+    /// cleared alerts plus every still-active one (with `cleared_round:
+    /// None`), sorted by `(fired_round, rule)` exactly like
+    /// [`Evaluator::finish`]. The daemon status surface publishes this
+    /// after every round; calling it never perturbs the hysteresis state,
+    /// so a snapshot taken after the final round is byte-identical to what
+    /// `finish` would return.
+    pub fn snapshot(&self) -> Vec<Alert> {
+        let mut all = self.done.clone();
+        let c = &self.config;
+        self.flip.finish("flip-rate", c.flip_rate_permille, &mut all);
+        self.skew.finish("load-skew", c.share_delta_permille, &mut all);
+        self.coverage
+            .finish("coverage-drop", c.coverage_drop_permille, &mut all);
+        self.duration
+            .finish("scan-duration", c.duration_blowup_permille, &mut all);
+        all.sort_by(|a, b| (a.fired_round, &a.rule).cmp(&(b.fired_round, &b.rule)));
+        all
+    }
+
     /// Ends the sequence: still-active alerts are flushed with
     /// `cleared_round: null`, and the full set comes back sorted by
     /// `(fired_round, rule)`.
-    pub fn finish(mut self) -> Vec<Alert> {
-        let c = &self.config;
-        self.flip
-            .finish("flip-rate", c.flip_rate_permille, &mut self.done);
-        self.skew
-            .finish("load-skew", c.share_delta_permille, &mut self.done);
-        self.coverage
-            .finish("coverage-drop", c.coverage_drop_permille, &mut self.done);
-        self.duration
-            .finish("scan-duration", c.duration_blowup_permille, &mut self.done);
-        self.done
-            .sort_by(|a, b| (a.fired_round, &a.rule).cmp(&(b.fired_round, &b.rule)));
-        self.done
+    pub fn finish(self) -> Vec<Alert> {
+        self.snapshot()
     }
 }
 
@@ -324,7 +333,7 @@ fn config_value(c: &AlertConfig) -> Value {
     Value::Object(obj)
 }
 
-fn alert_value(a: &Alert) -> Value {
+pub(crate) fn alert_value(a: &Alert) -> Value {
     let mut obj = BTreeMap::new();
     obj.insert("rule".to_owned(), Value::Str(a.rule.clone()));
     obj.insert("fired_round".to_owned(), Value::U64(u64::from(a.fired_round)));
@@ -445,6 +454,46 @@ mod tests {
         assert_eq!(alerts[0].cleared_round, Some(2));
         assert_eq!(alerts[1].fired_round, 3);
         assert_eq!(alerts[1].cleared_round, Some(4));
+    }
+
+    #[test]
+    fn clear_then_immediate_retrigger_is_two_alerts() {
+        // Fires at round 2, clears at round 4, and the drift resuming
+        // right after the clear is a *new* incident, not a continuation.
+        let alerts = run(&[20, 20, 1, 1, 20, 20], AlertConfig::default());
+        assert_eq!(alerts.len(), 2, "{alerts:?}");
+        assert_eq!(alerts[0].fired_round, 2);
+        assert_eq!(alerts[0].cleared_round, Some(4));
+        assert_eq!(alerts[1].fired_round, 6);
+        assert_eq!(alerts[1].cleared_round, None);
+        // The second incident starts its peak tracking from scratch.
+        assert_eq!(alerts[1].peak_value, 20);
+    }
+
+    #[test]
+    fn retrigger_within_clear_window_is_one_alert() {
+        // A breach inside the clear window resets the calm counter, so the
+        // alert never clears at round 5: one continuous incident that only
+        // clears after two calm rounds *in a row* (rounds 5-6).
+        let alerts = run(&[20, 20, 1, 20, 1, 1, 1], AlertConfig::default());
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].fired_round, 2);
+        assert_eq!(alerts[0].cleared_round, Some(6));
+    }
+
+    #[test]
+    fn snapshot_is_nondestructive_and_matches_finish() {
+        let mut ev = Evaluator::new(AlertConfig::default());
+        for (i, &r) in [20u64, 20, 20].iter().enumerate() {
+            let _ = ev.observe(&diff(i as u32 + 1, r), None);
+        }
+        let snap = ev.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].cleared_round, None);
+        // Snapshotting twice changes nothing, and the final snapshot is
+        // byte-for-byte what finish() reports.
+        assert_eq!(ev.snapshot(), snap);
+        assert_eq!(ev.finish(), snap);
     }
 
     #[test]

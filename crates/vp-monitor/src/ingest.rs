@@ -18,7 +18,7 @@
 //! named; the library never panics on malformed input.
 
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use serde_json::Value;
 use verfploeter::catchment::CatchmentMap;
@@ -26,10 +26,12 @@ use vp_net::{Asn, Block24};
 
 use crate::diff::Origins;
 
-/// Loads every `r*.json` catchment snapshot in `dir`, sorted by file name
+/// Lists the `r*.json` catchment snapshots in `dir`, sorted by file name
 /// (lexicographic == numeric for the zero-padded `r000.json` scheme).
 /// Non-round files (`origins.json`, anything not `r*.json`) are skipped.
-pub fn load_rounds_dir(dir: &Path) -> Result<Vec<CatchmentMap>, String> {
+/// An empty list is not an error — `watch --follow` polls a directory
+/// that may not have its first round yet.
+pub fn list_round_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
     let entries =
         std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
     let mut names: Vec<String> = Vec::new();
@@ -41,19 +43,25 @@ pub fn load_rounds_dir(dir: &Path) -> Result<Vec<CatchmentMap>, String> {
         }
     }
     names.sort_unstable();
-    if names.is_empty() {
+    Ok(names.into_iter().map(|n| dir.join(n)).collect())
+}
+
+/// Loads one catchment-snapshot round file.
+pub fn load_round_file(path: &Path) -> Result<CatchmentMap, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    CatchmentMap::from_json(&text)
+        .map_err(|e| format!("{}: invalid catchment map: {e}", path.display()))
+}
+
+/// Loads every round snapshot in `dir` at once (the batch path; an empty
+/// directory is an error here).
+pub fn load_rounds_dir(dir: &Path) -> Result<Vec<CatchmentMap>, String> {
+    let files = list_round_files(dir)?;
+    if files.is_empty() {
         return Err(format!("no r*.json round files in {}", dir.display()));
     }
-    let mut rounds = Vec::with_capacity(names.len());
-    for name in &names {
-        let path = dir.join(name);
-        let text = std::fs::read_to_string(&path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let map = CatchmentMap::from_json(&text)
-            .map_err(|e| format!("{}: invalid catchment map: {e}", path.display()))?;
-        rounds.push(map);
-    }
-    Ok(rounds)
+    files.iter().map(|p| load_round_file(p)).collect()
 }
 
 /// Parses the `vp-monitor-origins/v1` sidecar mapping each /24 block to
@@ -240,6 +248,9 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         assert!(load_rounds_dir(&dir).is_err());
+        // ... but merely *listing* an empty directory is fine: the follow
+        // path polls a directory whose first round hasn't landed yet.
+        assert_eq!(list_round_files(&dir).unwrap(), Vec::<std::path::PathBuf>::new());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

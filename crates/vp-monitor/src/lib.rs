@@ -30,7 +30,13 @@
 //!    (`results/monitor/bench_baseline.json`) with a noise-aware
 //!    min-of-reps rule; `scripts/check.sh` runs it as a gate.
 //!
-//! 5. **Flight-recorder profiler** ([`profile`]) — parses
+//! 5. **Streaming tracker** ([`stream`]) — [`stream::DriftTracker`] folds
+//!    rounds one at a time and is proven by proptest to match the batch
+//!    pipeline byte-for-byte; it backs `vp-monitor watch --follow` and
+//!    the `vp-daemon` status/scrape surfaces (`vp-daemon-status/v1` plus
+//!    Prometheus text), with rolling signal windows in O(window) memory.
+//!
+//! 6. **Flight-recorder profiler** ([`profile`]) — parses
 //!    `vp-obs-flight/v1` documents from the scan engine's flight recorder
 //!    and renders the attribution report (`vp-monitor profile`): per-phase
 //!    self/total times, per-shard compute imbalance in permille, and a
@@ -48,6 +54,7 @@ pub mod ingest;
 pub mod pipeline;
 pub mod profile;
 pub mod schema;
+pub mod stream;
 
 pub use alert::{Alert, AlertConfig, Evaluator};
 pub use bench::{check_bench, BenchRun, BenchVerdict};
@@ -55,3 +62,4 @@ pub use diff::{diff_rounds, diff_sequence, DriftSummary, Origins, RoundDiff};
 pub use ingest::{load_obs_report, load_rounds_dir, ObsReportDoc, ScanSummary};
 pub use pipeline::{run_diff_pipeline, DiffOutput};
 pub use profile::{parse_flight_doc, profile_channel, render_report, ChannelProfile, PhaseRow};
+pub use stream::{build_scrape, build_status_doc, DaemonMeta, DriftTracker, StreamStep};

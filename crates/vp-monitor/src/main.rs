@@ -5,24 +5,29 @@
 //! vp-monitor diff --rounds <dir> [--origins <file>] [--obs-report <file>]
 //!                 [--source <name>] [--out <dir>]
 //! vp-monitor watch --rounds <dir> [--origins <file>] [--obs-report <file>]
+//!                  [--follow] [--until-rounds <n>] [--poll-ms <ms>]
 //! vp-monitor check-bench --current <BENCH_scan.json> --baseline <file>
 //!                        [--append <file>] [--host-factor <permille>]
-//! vp-monitor validate <file>...
+//! vp-monitor validate <file|dir>...
 //! vp-monitor profile <flight.json> [--top <n>] [--chrome <out.json>]
 //! ```
 //!
 //! * `diff` runs the whole pipeline over a snapshot directory and writes
 //!   the canonical `drift.json` + `alerts.json` under `--out` (printing
 //!   the summary either way).
-//! * `watch` replays the same sequence round by round, printing each
-//!   alert transition as it happens — the offline stand-in for tailing a
-//!   live 15-minute measurement cadence.
+//! * `watch` replays the same sequence round by round through the
+//!   streaming [`DriftTracker`], printing each alert transition as it
+//!   happens. With `--follow` it keeps polling the directory and ingests
+//!   new round files as they land — tailing a live `vp_daemon
+//!   --snapshots`-style producer — until `--until-rounds` rounds have
+//!   been seen (or forever without it).
 //! * `check-bench` gates on the committed perf baseline trajectory; exit
 //!   status 1 means a regression. `--host-factor 1300` scales the
 //!   allowance for a host vouched 1.3× slower than the baseline machine,
 //!   so portable baselines don't false-fail on slow CI boxes.
 //! * `validate` checks any tagged document (obs report, drift, alert,
-//!   bench baseline, flight) against its embedded schema snapshot.
+//!   bench baseline, daemon status, flight) against its embedded schema
+//!   snapshot; directory arguments validate every `*.json` inside.
 //! * `profile` renders the attribution report for a `vp-obs-flight/v1`
 //!   document — per-phase self/total times, per-shard compute imbalance,
 //!   critical-path estimate — and with `--chrome` also writes a
@@ -35,10 +40,13 @@ use std::process::ExitCode;
 use vp_monitor::alert::AlertConfig;
 use vp_monitor::bench::{build_baseline_doc, check_bench_scaled, parse_baseline, parse_bench_scan};
 use vp_monitor::diff::Origins;
-use vp_monitor::ingest::{load_obs_report, load_origins_sidecar, load_rounds_dir};
+use vp_monitor::ingest::{
+    list_round_files, load_obs_report, load_origins_sidecar, load_round_file, load_rounds_dir,
+};
 use vp_monitor::pipeline::run_diff_pipeline;
 use vp_monitor::profile::{parse_flight_doc, render_report};
 use vp_monitor::schema::validate_tagged;
+use vp_monitor::stream::DriftTracker;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -47,21 +55,26 @@ fn usage() -> ExitCode {
          diff        --rounds <dir> [--origins <file>] [--obs-report <file>]\n\
          \x20           [--source <name>] [--out <dir>]\n\
          watch       --rounds <dir> [--origins <file>] [--obs-report <file>]\n\
+         \x20           [--follow] [--until-rounds <n>] [--poll-ms <ms>]\n\
          check-bench --current <file> --baseline <file> [--append <file>]\n\
          \x20           [--host-factor <permille>]\n\
-         validate    <file>...\n\
+         validate    <file|dir>...\n\
          profile     <flight.json> [--top <n>] [--chrome <out.json>]"
     );
     ExitCode::from(2)
 }
 
-/// Options shared by `diff` and `watch`.
+/// Options shared by `diff` and `watch` (the follow trio is watch-only;
+/// `diff` rejects it).
 struct DiffArgs {
     rounds: PathBuf,
     origins: Option<PathBuf>,
     obs_report: Option<PathBuf>,
     source: String,
     out: Option<PathBuf>,
+    follow: bool,
+    until_rounds: Option<u64>,
+    poll_ms: u64,
 }
 
 fn parse_diff_args(args: &[String]) -> Result<DiffArgs, String> {
@@ -70,6 +83,9 @@ fn parse_diff_args(args: &[String]) -> Result<DiffArgs, String> {
     let mut obs_report = None;
     let mut source = None;
     let mut out = None;
+    let mut follow = false;
+    let mut until_rounds = None;
+    let mut poll_ms = 500u64;
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| -> Result<&String, String> {
@@ -77,11 +93,23 @@ fn parse_diff_args(args: &[String]) -> Result<DiffArgs, String> {
                 .ok_or_else(|| format!("{} wants a value", args[i]))
         };
         match args[i].as_str() {
+            "--follow" => {
+                follow = true;
+                i += 1;
+                continue;
+            }
             "--rounds" => rounds = Some(PathBuf::from(value(i)?)),
             "--origins" => origins = Some(PathBuf::from(value(i)?)),
             "--obs-report" => obs_report = Some(PathBuf::from(value(i)?)),
             "--source" => source = Some(value(i)?.clone()),
             "--out" => out = Some(PathBuf::from(value(i)?)),
+            "--until-rounds" => {
+                until_rounds =
+                    Some(value(i)?.parse().map_err(|e| format!("--until-rounds: {e}"))?);
+            }
+            "--poll-ms" => {
+                poll_ms = value(i)?.parse().map_err(|e| format!("--poll-ms: {e}"))?;
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
         i += 2;
@@ -99,6 +127,9 @@ fn parse_diff_args(args: &[String]) -> Result<DiffArgs, String> {
         obs_report,
         source,
         out,
+        follow,
+        until_rounds,
+        poll_ms,
     })
 }
 
@@ -134,6 +165,9 @@ fn load_inputs(
 
 fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let args = parse_diff_args(args)?;
+    if args.follow || args.until_rounds.is_some() {
+        return Err("diff runs once over a complete directory; use watch --follow".to_owned());
+    }
     let (rounds, origins, durations) = load_inputs(&args)?;
     let out = run_diff_pipeline(
         &args.source,
@@ -160,33 +194,81 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Rolling-window width for the watch tracker, matching the daemon's
+/// default status windows.
+const WATCH_WINDOW: usize = 8;
+
 fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
     let args = parse_diff_args(args)?;
     if args.out.is_some() {
         return Err("watch does not write documents; use diff --out".to_owned());
     }
-    let (rounds, origins, durations) = load_inputs(&args)?;
-    // Same pipeline as `diff`, replayed with per-round narration.
-    let mut evaluator = vp_monitor::alert::Evaluator::new(AlertConfig::default());
-    let diffs = vp_monitor::diff::diff_sequence(&rounds, origins.as_ref());
-    for d in &diffs {
-        println!(
-            "round {r}: {stable} stable, {flipped} flipped ({rate} permille), \
-             {to_nr} to-NR, {from_nr} from-NR, {blocks} blocks",
-            r = d.round,
-            stable = d.stable,
-            flipped = d.flipped,
-            rate = d.flip_rate_permille,
-            to_nr = d.to_nr,
-            from_nr = d.from_nr,
-            blocks = d.cur_blocks,
-        );
-        let dur = durations.as_ref().and_then(|m| m.get(&d.round).copied());
-        for t in evaluator.observe(d, dur) {
-            println!("  ** {t}");
+    // Origins and durations load once up front; round files stream.
+    let origins = match &args.origins {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            Some(vp_monitor::ingest::parse_origins(
+                &text,
+                &path.display().to_string(),
+            )?)
         }
+        None => load_origins_sidecar(&args.rounds)?,
+    };
+    let durations = match &args.obs_report {
+        Some(path) => Some(load_obs_report(path)?.round_durations()),
+        None => None,
+    };
+
+    // The same streaming tracker the daemon publishes from, proven
+    // byte-equal to the batch pipeline — so plain `watch` prints exactly
+    // what `diff` computes, and `--follow` extends it to a live tail.
+    let mut tracker = DriftTracker::new(AlertConfig::default(), WATCH_WINDOW, origins);
+    let mut seen = 0usize;
+    'tail: loop {
+        let files = list_round_files(&args.rounds)?;
+        while seen < files.len() {
+            if args
+                .until_rounds
+                .is_some_and(|n| tracker.rounds_ingested() >= n)
+            {
+                break 'tail;
+            }
+            let map = load_round_file(&files[seen])?;
+            seen += 1;
+            let dur = durations
+                .as_ref()
+                .and_then(|m| m.get(&tracker.next_round()).copied());
+            let step = tracker.observe_round(map, dur);
+            if let Some(d) = &step.diff {
+                println!(
+                    "round {r}: {stable} stable, {flipped} flipped ({rate} permille), \
+                     {to_nr} to-NR, {from_nr} from-NR, {blocks} blocks",
+                    r = d.round,
+                    stable = d.stable,
+                    flipped = d.flipped,
+                    rate = d.flip_rate_permille,
+                    to_nr = d.to_nr,
+                    from_nr = d.from_nr,
+                    blocks = d.cur_blocks,
+                );
+            }
+            for t in &step.transitions {
+                println!("  ** {t}");
+            }
+        }
+        let reached = args
+            .until_rounds
+            .is_some_and(|n| tracker.rounds_ingested() >= n);
+        if reached || !args.follow {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(args.poll_ms));
     }
-    let alerts = evaluator.finish();
+    if tracker.rounds_ingested() == 0 {
+        return Err(format!("no r*.json round files in {}", args.rounds.display()));
+    }
+    let alerts = tracker.alerts_snapshot();
     let active = alerts.iter().filter(|a| a.cleared_round.is_none()).count();
     println!("{} alerts total, {active} still active", alerts.len());
     Ok(ExitCode::SUCCESS)
@@ -253,20 +335,45 @@ fn cmd_check_bench(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
     if args.is_empty() {
-        return Err("validate wants at least one file".to_owned());
+        return Err("validate wants at least one file or directory".to_owned());
     }
     let mut failures = 0usize;
-    for file in args {
-        let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-        let doc =
-            serde_json::from_str(&text).map_err(|e| format!("{file}: invalid JSON: {e}"))?;
-        let errors = validate_tagged(&doc);
-        if errors.is_empty() {
-            println!("{file}: ok");
+    for arg in args {
+        let path = PathBuf::from(arg);
+        // A directory argument means every *.json document inside it.
+        let targets = if path.is_dir() {
+            let entries = std::fs::read_dir(&path)
+                .map_err(|e| format!("cannot read {arg}: {e}"))?;
+            let mut files = Vec::new();
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("cannot read {arg}: {e}"))?;
+                let p = entry.path();
+                if p.extension().is_some_and(|ext| ext == "json") {
+                    files.push(p);
+                }
+            }
+            files.sort_unstable();
+            if files.is_empty() {
+                return Err(format!("{arg}: no *.json documents inside"));
+            }
+            files
         } else {
-            failures += 1;
-            for e in &errors {
-                eprintln!("{file}: {e}");
+            vec![path]
+        };
+        for file in targets {
+            let name = file.display().to_string();
+            let text =
+                std::fs::read_to_string(&file).map_err(|e| format!("cannot read {name}: {e}"))?;
+            let doc =
+                serde_json::from_str(&text).map_err(|e| format!("{name}: invalid JSON: {e}"))?;
+            let errors = validate_tagged(&doc);
+            if errors.is_empty() {
+                println!("{name}: ok");
+            } else {
+                failures += 1;
+                for e in &errors {
+                    eprintln!("{name}: {e}");
+                }
             }
         }
     }

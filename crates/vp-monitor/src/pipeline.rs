@@ -31,7 +31,7 @@ pub struct DiffOutput {
     pub alert_doc: Value,
 }
 
-fn u64_map_value<K: ToString>(map: &BTreeMap<K, u64>) -> Value {
+pub(crate) fn u64_map_value<K: ToString>(map: &BTreeMap<K, u64>) -> Value {
     Value::Object(
         map.iter()
             .map(|(k, v)| (k.to_string(), Value::U64(*v)))
@@ -39,7 +39,7 @@ fn u64_map_value<K: ToString>(map: &BTreeMap<K, u64>) -> Value {
     )
 }
 
-fn diff_value(d: &RoundDiff) -> Value {
+pub(crate) fn diff_value(d: &RoundDiff) -> Value {
     let mut obj = BTreeMap::new();
     obj.insert("round".to_owned(), Value::U64(u64::from(d.round)));
     obj.insert("prev".to_owned(), Value::Str(d.prev_name.clone()));
@@ -70,7 +70,7 @@ fn diff_value(d: &RoundDiff) -> Value {
     Value::Object(obj)
 }
 
-fn summary_value(s: &DriftSummary) -> Value {
+pub(crate) fn summary_value(s: &DriftSummary) -> Value {
     let mut obj = BTreeMap::new();
     obj.insert("rounds".to_owned(), Value::U64(s.rounds));
     obj.insert("stable".to_owned(), Value::U64(s.stable));

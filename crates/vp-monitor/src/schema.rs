@@ -25,6 +25,8 @@ pub const ALERT_SCHEMA: &str = include_str!("../schema/alert.schema.json");
 pub const BENCH_BASELINE_SCHEMA: &str = include_str!("../schema/bench_baseline.schema.json");
 /// Schema snapshot for `vp-obs-flight/v1` flight-recorder documents.
 pub const FLIGHT_SCHEMA: &str = include_str!("../schema/flight.schema.json");
+/// Schema snapshot for `vp-daemon-status/v1` daemon status documents.
+pub const DAEMON_STATUS_SCHEMA: &str = include_str!("../schema/daemon_status.schema.json");
 
 /// Picks the embedded schema for a document by its `schema` tag.
 pub fn schema_for(tag: &str) -> Option<&'static str> {
@@ -34,6 +36,7 @@ pub fn schema_for(tag: &str) -> Option<&'static str> {
         "vp-monitor-alert/v1" => Some(ALERT_SCHEMA),
         "vp-bench-baseline/v1" => Some(BENCH_BASELINE_SCHEMA),
         "vp-obs-flight/v1" => Some(FLIGHT_SCHEMA),
+        "vp-daemon-status/v1" => Some(DAEMON_STATUS_SCHEMA),
         _ => None,
     }
 }
@@ -172,6 +175,7 @@ mod tests {
             ("vp-monitor-alert/v1", ALERT_SCHEMA),
             ("vp-bench-baseline/v1", BENCH_BASELINE_SCHEMA),
             ("vp-obs-flight/v1", FLIGHT_SCHEMA),
+            ("vp-daemon-status/v1", DAEMON_STATUS_SCHEMA),
         ] {
             assert!(
                 serde_json::from_str::<Value>(text).is_ok(),

@@ -3,11 +3,16 @@
 //! `Registry` carry, and the property that makes windowed drift summaries
 //! fold to the same totals however monitoring windows are grouped.
 
+use std::collections::BTreeMap;
+
 use proptest::prelude::*;
-use vp_monitor::diff::{diff_sequence, DriftSummary, RoundDiff};
+use vp_monitor::alert::AlertConfig;
+use vp_monitor::diff::{diff_sequence, DriftSummary, Origins, RoundDiff};
+use vp_monitor::pipeline::run_diff_pipeline;
+use vp_monitor::stream::DriftTracker;
 use verfploeter::catchment::CatchmentMap;
 use vp_bgp::SiteId;
-use vp_net::Block24;
+use vp_net::{Asn, Block24};
 
 /// A generated drift summary over a closed AS set so merges collide on
 /// keys.
@@ -110,5 +115,124 @@ proptest! {
         for d in &diffs {
             prop_assert_eq!(d.stable + d.flipped + d.to_nr, d.prev_blocks);
         }
+    }
+}
+
+/// Origins for the proptest block universe, so per-AS flip attribution is
+/// exercised on both the batch and streaming paths.
+fn origins_fixture() -> Origins {
+    (0u32..8).map(|b| (Block24(b), Asn(64500 + b))).collect()
+}
+
+/// Sim-time scan durations keyed by 1-based diff round — a baseline run
+/// of quiet rounds with a blowup late, so the `scan-duration` rule's
+/// baseline-then-compare path runs too.
+fn durations_fixture(rounds: usize) -> BTreeMap<u32, u64> {
+    (1..=rounds as u32)
+        .map(|r| (r, if r >= 6 { 500 } else { 100 + u64::from(r) % 7 }))
+        .collect()
+}
+
+/// An aggressive config so short generated sequences actually fire and
+/// clear alerts (the default trigger/clear windows rarely complete in
+/// 2-6 rounds).
+fn twitchy_config() -> AlertConfig {
+    AlertConfig {
+        flip_rate_permille: 100,
+        share_delta_permille: 100,
+        coverage_drop_permille: 100,
+        trigger_rounds: 1,
+        clear_rounds: 1,
+        duration_baseline_rounds: 2,
+        ..AlertConfig::default()
+    }
+}
+
+// Streaming-equals-batch: the DriftTracker fed one round at a time must
+// reproduce run_diff_pipeline bit-for-bit — diffs, summary, transitions,
+// and the canonical documents.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streaming_tracker_matches_batch_pipeline(rounds in rounds_strategy()) {
+        let origins = origins_fixture();
+        let durations = durations_fixture(rounds.len());
+        let batch = run_diff_pipeline(
+            "prop",
+            &rounds,
+            Some(&origins),
+            Some(&durations),
+            &twitchy_config(),
+        );
+
+        let mut tracker = DriftTracker::new(twitchy_config(), 3, Some(origins));
+        for r in &rounds {
+            let dur = durations.get(&tracker.next_round()).copied();
+            tracker.observe_round(r.clone(), dur);
+        }
+
+        prop_assert_eq!(tracker.diffs(), &batch.diffs[..]);
+        prop_assert_eq!(tracker.summary(), &batch.summary);
+        prop_assert_eq!(tracker.transitions(), &batch.transitions[..]);
+        prop_assert_eq!(tracker.alerts_snapshot(), batch.alerts);
+        prop_assert_eq!(
+            serde_json::to_string_pretty(&tracker.drift_doc("prop")).ok(),
+            serde_json::to_string_pretty(&batch.drift_doc).ok()
+        );
+        prop_assert_eq!(
+            serde_json::to_string_pretty(&tracker.alert_doc("prop")).ok(),
+            serde_json::to_string_pretty(&batch.alert_doc).ok()
+        );
+    }
+
+    /// The windowed-split fold: cutting the stream anywhere, running the
+    /// tail through a second tracker resuming at the cut (it re-ingests
+    /// the boundary round as its baseline), then concatenating diffs and
+    /// merging summaries and windows equals the whole-stream tracker.
+    #[test]
+    fn streaming_split_fold_matches_whole(
+        rounds in rounds_strategy(),
+        split in 1usize..6,
+    ) {
+        let origins = origins_fixture();
+        let config = twitchy_config();
+        let width = 3usize;
+
+        let mut whole = DriftTracker::new(config.clone(), width, Some(origins.clone()));
+        for r in &rounds {
+            whole.observe_round(r.clone(), None);
+        }
+
+        let cut = split.min(rounds.len() - 1).max(1);
+        let mut head = DriftTracker::new(config.clone(), width, Some(origins.clone()));
+        for r in &rounds[..cut] {
+            head.observe_round(r.clone(), None);
+        }
+        let mut tail =
+            DriftTracker::with_start_round(config, width, Some(origins), cut as u32 - 1);
+        for r in &rounds[cut - 1..] {
+            tail.observe_round(r.clone(), None);
+        }
+
+        // Diffs concatenate with global round numbers intact.
+        let mut diffs = head.diffs().to_vec();
+        diffs.extend(tail.diffs().iter().cloned());
+        prop_assert_eq!(&diffs[..], whole.diffs());
+
+        // Summaries and rolling windows merge to the whole-stream state.
+        let mut summary = head.summary().clone();
+        summary.merge(tail.summary());
+        prop_assert_eq!(&summary, whole.summary());
+
+        let mut flip = head.flip_window().clone();
+        flip.merge(tail.flip_window());
+        prop_assert_eq!(&flip, whole.flip_window());
+        let mut skew = head.skew_window().clone();
+        skew.merge(tail.skew_window());
+        prop_assert_eq!(&skew, whole.skew_window());
+        let mut coverage = head.coverage_window().clone();
+        coverage.merge(tail.coverage_window());
+        prop_assert_eq!(&coverage, whole.coverage_window());
     }
 }

@@ -24,7 +24,9 @@
 pub mod flight;
 pub mod metrics;
 pub mod trace;
+pub mod window;
 
 pub use flight::{FlightDoc, FlightGuard, FlightRecorder, FlightSpan, FlightTimeline, WallChannel};
 pub use metrics::{Counter, Gauge, Histogram, Metric, MetricKey, Registry};
 pub use trace::{Clock, Event, SimClock, Span, SpanAgg, TraceLevel, TraceSummary, Tracer};
+pub use window::RollingWindow;

@@ -484,10 +484,19 @@ fn prom_help_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
+/// Sanitizes a recorded metric (or label) name into the Prometheus
+/// identifier charset: non-alphanumerics become `_`, and a leading digit
+/// gets a `_` prefix — `[a-zA-Z_:][a-zA-Z0-9_:]*` is the format's grammar,
+/// so `4xx.count` must expose as `_4xx_count`, not an invalid `4xx_count`.
 fn prom_name(name: &str) -> String {
-    name.chars()
+    let mut out: String = name
+        .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
 }
 
 fn prom_labels(labels: &BTreeMap<String, String>, le: Option<&str>) -> String {
@@ -720,6 +729,47 @@ mod tests {
         assert!(text.contains("rtt_ns_bucket{le=\"10\"} 1"), "{text}");
         assert!(text.contains("rtt_ns_bucket{le=\"+Inf\"} 2"), "{text}");
         assert!(text.contains("rtt_ns_count 2"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_type_lines_cover_every_metric_kind() {
+        let mut r = Registry::new();
+        r.counter_add("scan.probes", &[], 1);
+        r.gauge_add("queue.depth", &[], 2);
+        r.histogram_observe("rtt.ns", &[], &[10], 5);
+        let text = r.to_prometheus_text();
+        assert!(text.contains("# TYPE scan_probes counter"), "{text}");
+        assert!(text.contains("# TYPE queue_depth gauge"), "{text}");
+        // Histogram TYPE announces the base name; the series carry the
+        // _bucket/_sum/_count suffixes.
+        assert!(text.contains("# TYPE rtt_ns histogram"), "{text}");
+        assert!(!text.contains("# TYPE rtt_ns_bucket"), "{text}");
+        // Exactly one TYPE line per metric name.
+        assert_eq!(text.matches("# TYPE").count(), 3, "{text}");
+    }
+
+    #[test]
+    fn prometheus_type_appears_once_per_name_run_across_label_sets() {
+        let mut r = Registry::new();
+        r.counter_add("scan.probes", &[("site", "LAX")], 7);
+        r.counter_add("scan.probes", &[("site", "MIA")], 3);
+        let text = r.to_prometheus_text();
+        assert_eq!(text.matches("# TYPE scan_probes counter").count(), 1, "{text}");
+        let type_idx = text.find("# TYPE scan_probes").unwrap_or(usize::MAX);
+        let first_sample = text.find("scan_probes{").unwrap_or(0);
+        assert!(type_idx < first_sample, "TYPE must precede samples: {text}");
+    }
+
+    #[test]
+    fn prometheus_names_never_start_with_a_digit() {
+        let mut r = Registry::new();
+        r.counter_add("4xx.count", &[("2nd", "x")], 1);
+        let text = r.to_prometheus_text();
+        // Metric and label names alike get the `_` prefix; label values
+        // are free-form and untouched.
+        assert!(text.contains("# TYPE _4xx_count counter"), "{text}");
+        assert!(text.contains("_4xx_count{_2nd=\"x\"} 1"), "{text}");
+        assert!(!text.contains("\n4xx"), "{text}");
     }
 
     #[test]

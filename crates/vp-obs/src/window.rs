@@ -1,0 +1,209 @@
+//! Rolling fixed-width windows over round-indexed samples.
+//!
+//! The streaming monitor (vp-monitor's `DriftTracker`, the `vp-daemon`
+//! loop) needs "the last W rounds of signal X" without retaining the full
+//! history: flip rate, share skew, and coverage each keep one
+//! [`RollingWindow`], so monitor memory stays O(window), not O(rounds).
+//!
+//! A window is a map from round number to sample value, truncated to the
+//! `width` highest rounds. Because truncation only ever discards the
+//! *lowest* keys, [`RollingWindow::merge`] obeys the workspace merge
+//! algebra (`SimStats`, `Registry`, `DriftSummary`): it is associative and
+//! commutative with the empty window (of equal width) as identity — a key
+//! dropped by an intermediate truncation is dominated by `width` higher
+//! keys that also appear in the final union, so it could never survive the
+//! final truncation either. Samples for the same round fold by max, which
+//! is associative, commutative, and idempotent, so overlapping segments
+//! (the windowed-split fold) merge cleanly.
+
+use std::collections::BTreeMap;
+
+/// A bounded window of `(round, value)` samples keeping the `width`
+/// newest rounds. See the module docs for the merge-algebra contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollingWindow {
+    width: usize,
+    entries: BTreeMap<u64, u64>,
+}
+
+impl RollingWindow {
+    /// An empty window retaining at most `width` rounds (`width` is
+    /// clamped to at least 1).
+    pub fn new(width: usize) -> RollingWindow {
+        RollingWindow {
+            width: width.max(1),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records the sample for `round`. A repeated round folds by max (the
+    /// same rule merge uses). Rounds older than the `width` newest are
+    /// discarded.
+    pub fn push(&mut self, round: u64, value: u64) {
+        let slot = self.entries.entry(round).or_insert(0);
+        *slot = (*slot).max(value);
+        self.truncate();
+    }
+
+    /// Folds `other` in: union by round, same-round samples fold by max,
+    /// then the result is truncated to the `width` newest rounds.
+    /// Associative and commutative with the empty same-width window as
+    /// identity. Merging windows of different widths is a programming
+    /// error and panics, like merging histograms with different bounds.
+    pub fn merge(&mut self, other: &RollingWindow) {
+        assert_eq!(
+            self.width, other.width,
+            "merging rolling windows with different widths"
+        );
+        for (&round, &value) in &other.entries {
+            let slot = self.entries.entry(round).or_insert(0);
+            *slot = (*slot).max(value);
+        }
+        self.truncate();
+    }
+
+    fn truncate(&mut self) {
+        while self.entries.len() > self.width {
+            self.entries.pop_first();
+        }
+    }
+
+    /// `(round, value)` pairs in ascending round order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.entries.iter().map(|(&r, &v)| (r, v))
+    }
+
+    /// The newest retained sample.
+    pub fn last(&self) -> Option<(u64, u64)> {
+        self.entries.last_key_value().map(|(&r, &v)| (r, v))
+    }
+
+    /// Smallest retained value (0 when empty).
+    pub fn min_value(&self) -> u64 {
+        self.entries.values().copied().min().unwrap_or(0)
+    }
+
+    /// Largest retained value (0 when empty).
+    pub fn max_value(&self) -> u64 {
+        self.entries.values().copied().max().unwrap_or(0)
+    }
+
+    /// Sum of retained values.
+    pub fn sum(&self) -> u64 {
+        self.entries.values().fold(0u64, |a, &v| a.saturating_add(v))
+    }
+
+    /// Integer mean of retained values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.entries.is_empty() {
+            0
+        } else {
+            self.sum() / self.entries.len() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_the_newest_width_rounds() {
+        let mut w = RollingWindow::new(3);
+        for r in 1..=5u64 {
+            w.push(r, r * 10);
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![(3, 30), (4, 40), (5, 50)]);
+        assert_eq!(w.last(), Some((5, 50)));
+        assert_eq!(w.min_value(), 30);
+        assert_eq!(w.max_value(), 50);
+        assert_eq!(w.sum(), 120);
+        assert_eq!(w.mean(), 40);
+    }
+
+    /// The satellite edge case: behavior exactly at window-size rounds.
+    /// Filling the window to its width evicts nothing; the very next round
+    /// evicts exactly the oldest.
+    #[test]
+    fn boundary_at_exactly_window_size_rounds() {
+        let mut w = RollingWindow::new(4);
+        for r in 1..=4u64 {
+            w.push(r, 100 + r);
+        }
+        // Exactly full: all four rounds retained, nothing evicted.
+        assert_eq!(w.len(), w.width());
+        assert_eq!(w.iter().next(), Some((1, 101)));
+        assert_eq!(w.min_value(), 101);
+        // One past the boundary: round 1 (and only round 1) leaves.
+        w.push(5, 105);
+        assert_eq!(w.len(), w.width());
+        assert_eq!(w.iter().next(), Some((2, 102)));
+        assert_eq!(w.last(), Some((5, 105)));
+        assert_eq!(w.min_value(), 102);
+    }
+
+    #[test]
+    fn empty_window_aggregates_are_zero() {
+        let w = RollingWindow::new(8);
+        assert!(w.is_empty());
+        assert_eq!(w.last(), None);
+        assert_eq!((w.min_value(), w.max_value(), w.sum(), w.mean()), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn same_round_folds_by_max() {
+        let mut w = RollingWindow::new(4);
+        w.push(7, 5);
+        w.push(7, 3);
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![(7, 5)]);
+        w.push(7, 9);
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![(7, 9)]);
+    }
+
+    #[test]
+    fn width_zero_is_clamped_to_one() {
+        let mut w = RollingWindow::new(0);
+        assert_eq!(w.width(), 1);
+        w.push(1, 10);
+        w.push(2, 20);
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![(2, 20)]);
+    }
+
+    #[test]
+    fn merge_unions_and_truncates() {
+        let mut a = RollingWindow::new(3);
+        let mut b = RollingWindow::new(3);
+        for r in 1..=3u64 {
+            a.push(r, r);
+        }
+        for r in 3..=5u64 {
+            b.push(r, r * 100);
+        }
+        a.merge(&b);
+        // Union {1..5} truncated to the newest 3; round 3 folded by max.
+        assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            vec![(3, 300), (4, 400), (5, 500)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn merge_rejects_mismatched_widths() {
+        let mut a = RollingWindow::new(2);
+        a.merge(&RollingWindow::new(3));
+    }
+}

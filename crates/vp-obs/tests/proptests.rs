@@ -4,7 +4,7 @@
 //! shard count and any merge grouping.
 
 use proptest::prelude::*;
-use vp_obs::{Event, Histogram, Registry, TraceSummary};
+use vp_obs::{Event, Histogram, Registry, RollingWindow, TraceSummary};
 
 const BOUNDS: &[u64] = &[10, 100, 1_000, 10_000];
 
@@ -190,5 +190,80 @@ proptest! {
             prop_assert_eq!(agg.total_nanos, x.total_nanos + y.total_nanos);
             prop_assert_eq!(agg.max_nanos, x.max_nanos.max(y.max_nanos));
         }
+    }
+}
+
+/// A small generated rolling window over a closed round range so merges
+/// collide on keys and truncation actually happens.
+fn window_strategy(width: usize) -> impl Strategy<Value = RollingWindow> {
+    prop::collection::vec((0u64..12, 1u64..1000), 0..10).prop_map(move |samples| {
+        let mut w = RollingWindow::new(width);
+        for (round, value) in samples {
+            w.push(round, value);
+        }
+        w
+    })
+}
+
+// Merge algebra for the rolling round windows the streaming monitor uses.
+// vp-lint: merge-tested(RollingWindow::merge)
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rolling_window_merge_is_associative_and_commutative(
+        a in window_strategy(4),
+        b in window_strategy(4),
+        c in window_strategy(4),
+    ) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+    }
+
+    #[test]
+    fn rolling_window_merge_empty_identity(a in window_strategy(4)) {
+        let mut left = RollingWindow::new(4);
+        left.merge(&a);
+        prop_assert_eq!(&left, &a);
+        let mut right = a.clone();
+        right.merge(&RollingWindow::new(4));
+        prop_assert_eq!(&right, &a);
+    }
+
+    /// Splitting a round stream at any point and merging the two segment
+    /// windows equals pushing the whole stream through one window — the
+    /// windowed-split fold the streaming monitor relies on.
+    #[test]
+    fn rolling_window_split_fold_matches_whole(
+        samples in prop::collection::vec((0u64..16, 1u64..1000), 0..14),
+        cut in 0usize..14,
+    ) {
+        let mut whole = RollingWindow::new(5);
+        for &(round, value) in &samples {
+            whole.push(round, value);
+        }
+        let cut = cut.min(samples.len());
+        let mut left = RollingWindow::new(5);
+        for &(round, value) in &samples[..cut] {
+            left.push(round, value);
+        }
+        let mut right = RollingWindow::new(5);
+        for &(round, value) in &samples[cut..] {
+            right.push(round, value);
+        }
+        left.merge(&right);
+        prop_assert_eq!(&left, &whole);
+        prop_assert!(whole.len() <= whole.width());
     }
 }

@@ -41,12 +41,14 @@ vp_monitor="target/release/vp-monitor"
 
 # Every committed tagged document must conform to its embedded schema.
 # The flight golden is named explicitly: the *.report.json glob does not
-# match it, and the flight_golden tests byte-compare against it.
+# match it, and the flight_golden tests byte-compare against it. The
+# daemon goldens use the directory form (every *.json inside).
 "$vp_monitor" validate results/obs/*.report.json \
     results/obs/flight_scan15k.json \
     results/monitor/fig9_tiny.drift.json \
     results/monitor/fig9_tiny.alerts.json \
-    results/monitor/bench_baseline.json >/dev/null
+    results/monitor/bench_baseline.json \
+    results/daemon >/dev/null
 
 # Replay fig9 at tiny scale through the snapshot + diff pipeline and
 # byte-compare against the committed goldens: any drift in the drift
@@ -64,6 +66,28 @@ cargo run -q --release -p vp-experiments --bin fig9_stability -- \
     --source fig9_stability/tiny --out "$mon_dir/monitor" >/dev/null
 diff -u results/monitor/fig9_tiny.drift.json "$mon_dir/monitor/drift.json"
 diff -u results/monitor/fig9_tiny.alerts.json "$mon_dir/monitor/alerts.json"
+
+# The streaming path must tail the same snapshot directory to the same
+# conclusion: watch --follow polls for new round files and folds them
+# through the DriftTracker (proven byte-equal to the batch pipeline by
+# proptest); here it consumes the 12 pre-existing tiny rounds and must
+# reach the batch run's alert verdict.
+"$vp_monitor" watch --rounds "$mon_dir/rounds" \
+    --follow --until-rounds 12 --poll-ms 10 \
+    | tail -n 1 | grep -q "alerts total"
+
+# Daemon smoke: a deterministic 6-round sim-time run of the live
+# telemetry plane (tiny scale, 2 shards — §7 makes the shard count
+# unobservable) must republish byte-identical status/scrape surfaces to
+# the committed goldens. The daemon_pipeline integration tests prove the
+# same in-process; this gates the actual binary end to end.
+daemon_dir="target/daemon-check"
+rm -rf "$daemon_dir"
+cargo run -q --release -p vp-experiments --bin vp_daemon -- \
+    --scale tiny --rounds 6 --shards 2 --window 8 --pace sim \
+    --out "$daemon_dir" >/dev/null
+diff -u results/daemon/vp_daemon_status.json "$daemon_dir/status.json"
+diff -u results/daemon/vp_daemon_scrape.prom "$daemon_dir/metrics.prom"
 
 # Perf gate: the committed BENCH_scan.json must stay within tolerance of
 # the committed baseline trajectory (exit nonzero on regression). The
