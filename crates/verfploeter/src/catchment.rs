@@ -298,6 +298,7 @@ pub mod reference {
 
         /// Disjoint union, the tree way: per-entry inserts.
         // vp-lint: merge-tested(BTreeCatchment::merge, suite=columnar_equivalence)
+        // vp-lint: cold(fn): reference-engine shard fold — runs once per shard at merge time, not per probe.
         pub fn merge(&mut self, other: &BTreeCatchment) {
             for (block, site) in &other.map {
                 self.map.insert(*block, *site);

@@ -33,7 +33,7 @@ pub fn parse_capture(cap: &SiteCapture) -> Option<RawReply> {
     if cap.packet.protocol != vp_packet::Protocol::Icmp {
         return None;
     }
-    match IcmpMessage::parse(&cap.packet.payload) {
+    match IcmpMessage::parse_view(&cap.packet.payload) {
         Ok(IcmpMessage::EchoReply { ident, payload, .. }) => Some(RawReply {
             site: cap.site,
             at: cap.at,
@@ -63,14 +63,19 @@ pub fn forward_to_central_on(
     captures_by_site: Vec<Vec<SiteCapture>>,
 ) -> Vec<RawReply> {
     let per_site: Vec<Vec<RawReply>> = exec.run_sharded(captures_by_site.len(), |site| {
-        captures_by_site[site] // vp-lint: allow(g1): the executor only calls site < the number of site logs.
-            .iter()
-            .filter_map(parse_capture)
-            .collect()
+        let caps = &captures_by_site[site]; // vp-lint: allow(g1): the executor only calls site < the number of site logs.
+        // One pre-sized allocation per site worker (replies never outnumber
+        // captures); parsing filters without regrowth.
+        let mut replies = Vec::with_capacity(caps.len());
+        replies.extend(caps.iter().filter_map(parse_capture));
+        replies
     });
     // Site vectors come back in site-id order; the final sort makes the
     // arrival timeline explicit and is total on (at, site, src).
-    let mut all: Vec<RawReply> = per_site.into_iter().flatten().collect();
+    let mut all: Vec<RawReply> = Vec::with_capacity(per_site.iter().map(Vec::len).sum());
+    for site_replies in per_site {
+        all.extend(site_replies);
+    }
     all.sort_by_key(|r| (r.at, r.site, r.src));
     all
 }

@@ -19,6 +19,11 @@ use vp_packet::{IcmpMessage, Ipv4Packet, Protocol};
 /// Magic prefix identifying Verfploeter probe payloads.
 pub const PAYLOAD_MAGIC: &[u8; 4] = b"VPLT";
 
+/// Probes encoded per [`Prober::build_probes`] batch: large enough to
+/// amortize the batch's one wire-buffer allocation to noise, small enough
+/// that a batch of 20-byte messages stays comfortably in L1.
+pub const PROBE_BATCH: usize = 1024;
+
 /// Probing parameters for one measurement round.
 #[derive(Debug, Clone)]
 pub struct ProbeConfig {
@@ -111,6 +116,89 @@ impl Prober {
         let mut packet = Ipv4Packet::new(source, entry.target, Protocol::Icmp, icmp.emit());
         packet.ident = self.config.ident;
         packet
+    }
+
+    /// Materializes the probes for a slice of hitlist indices into `out` —
+    /// wire-identical to calling [`Prober::build_probe`] per index (the
+    /// equivalence suite pins this), but with the hot-loop cost profile:
+    /// the whole batch's ICMP images live in **one shared buffer**
+    /// ([`vp_packet::icmp::encode_batch`]), each packet payload a
+    /// zero-copy view of it, and per-probe checksums derived
+    /// incrementally instead of re-summed. Steady-state heap allocations
+    /// per probe: zero (the batch buffer and `out`'s reservation amortize
+    /// across the batch; the allocation-witness test counts this).
+    // vp-lint: allow(g1): `i < indices.len()` by encode_batch's contract, and payloads are exactly the 12 declared bytes.
+    pub fn build_probes(
+        &self,
+        hitlist: &Hitlist,
+        indices: &[u64],
+        source: Ipv4Addr,
+        out: &mut Vec<Ipv4Packet>,
+    ) {
+        out.clear();
+        out.reserve(indices.len());
+        vp_packet::icmp::encode_batch(
+            self.config.ident,
+            12,
+            indices.len(),
+            |i, seq, payload| {
+                let index = indices[i];
+                *seq = vp_net::conv::sat_u16(index & 0xffff);
+                payload[..4].copy_from_slice(PAYLOAD_MAGIC);
+                payload[4..].copy_from_slice(&index.to_be_bytes());
+            },
+            |i, wire| {
+                let index = indices[i];
+                let entry = hitlist.entry(vp_net::conv::sat_usize(index));
+                let mut packet = Ipv4Packet::new(source, entry.target, Protocol::Icmp, wire);
+                packet.ident = self.config.ident;
+                out.push(packet);
+            },
+        );
+    }
+
+    /// [`Prober::build_probes`] plus each probe's precomputed **echo
+    /// reply** wire image (via
+    /// [`vp_packet::icmp::encode_batch_with_replies`]): `out[i]`'s reply
+    /// image lands in `reply_images[i]`, byte-identical to what the
+    /// simulated responder's parse → reply → emit chain would serialize.
+    /// Handing the image to the engine with the probe lets responders
+    /// answer without allocating per reply — the last per-probe
+    /// allocation the witness test retired. Payloads carry the nonzero
+    /// `VPLT` magic, satisfying the reply encoder's checksum
+    /// precondition.
+    // vp-lint: allow(g1): `i < indices.len()` by encode_batch_with_replies's contract, and payloads are exactly the 12 declared bytes.
+    pub fn build_probes_with_replies(
+        &self,
+        hitlist: &Hitlist,
+        indices: &[u64],
+        source: Ipv4Addr,
+        out: &mut Vec<Ipv4Packet>,
+        reply_images: &mut Vec<Bytes>,
+    ) {
+        out.clear();
+        out.reserve(indices.len());
+        reply_images.clear();
+        reply_images.reserve(indices.len());
+        vp_packet::icmp::encode_batch_with_replies(
+            self.config.ident,
+            12,
+            indices.len(),
+            |i, seq, payload| {
+                let index = indices[i];
+                *seq = vp_net::conv::sat_u16(index & 0xffff);
+                payload[..4].copy_from_slice(PAYLOAD_MAGIC);
+                payload[4..].copy_from_slice(&index.to_be_bytes());
+            },
+            |i, wire, reply| {
+                let index = indices[i];
+                let entry = hitlist.entry(vp_net::conv::sat_usize(index));
+                let mut packet = Ipv4Packet::new(source, entry.target, Protocol::Icmp, wire);
+                packet.ident = self.config.ident;
+                out.push(packet);
+                reply_images.push(reply);
+            },
+        );
     }
 
     /// Builds the full probe schedule as a vector: every hitlist entry
@@ -226,6 +314,65 @@ mod tests {
                     assert_eq!(Prober::decode_payload(&payload), Some(p.index));
                 }
                 other => panic!("expected request, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batched_build_is_bit_identical_to_single_build() {
+        // The §7 contract rides on this: the batched path must produce
+        // the exact packets (bytes and struct fields) of the reference
+        // single-probe encoder, in schedule order.
+        let (_, hl) = hitlist();
+        let cfg = ProbeConfig {
+            ident: 0x4242,
+            ..ProbeConfig::default()
+        };
+        let prober = Prober::new(cfg);
+        let source = Ipv4Addr::new(240, 0, 0, 1);
+        let mut indices: Vec<u64> = Vec::new();
+        prober.walk_schedule(hl.len() as u64, SimTime::ZERO, |index, _| indices.push(index));
+        let mut batched = Vec::new();
+        for chunk in indices.chunks(97) {
+            let mut out = Vec::new();
+            prober.build_probes(&hl, chunk, source, &mut out);
+            batched.extend(out);
+        }
+        assert_eq!(batched.len(), indices.len());
+        for (i, index) in indices.iter().enumerate() {
+            let single = prober.build_probe(&hl, *index, source);
+            assert_eq!(batched[i], single, "probe {i} (hitlist index {index})");
+            assert_eq!(&batched[i].payload[..], &single.payload[..]);
+        }
+    }
+
+    #[test]
+    fn reply_images_match_responder_serialization() {
+        // The precomputed reply image must be byte-identical to what a
+        // responder would serialize from the received probe: parse the
+        // probe, form the reply, emit it. This is the bit-equivalence
+        // the engine's precomputed-reply fast path rides on.
+        let (_, hl) = hitlist();
+        let prober = Prober::new(ProbeConfig {
+            ident: 0x77aa,
+            ..ProbeConfig::default()
+        });
+        let source = Ipv4Addr::new(240, 0, 0, 1);
+        let indices: Vec<u64> = (0..hl.len() as u64).collect();
+        for chunk in indices.chunks(113) {
+            let mut packets = Vec::new();
+            let mut images = Vec::new();
+            prober.build_probes_with_replies(&hl, chunk, source, &mut packets, &mut images);
+            assert_eq!(packets.len(), chunk.len());
+            assert_eq!(images.len(), chunk.len());
+            // Packets are the same as the image-less builder's.
+            let mut reference = Vec::new();
+            prober.build_probes(&hl, chunk, source, &mut reference);
+            assert_eq!(packets, reference);
+            for (packet, image) in packets.iter().zip(&images) {
+                let parsed = vp_packet::IcmpMessage::parse_view(&packet.payload).unwrap();
+                let responder = parsed.reply().expect("probes are echo requests").emit();
+                assert_eq!(&image[..], &responder[..]);
             }
         }
     }

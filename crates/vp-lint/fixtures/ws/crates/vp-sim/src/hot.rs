@@ -1,0 +1,150 @@
+//! Seeded hot-path violations (10 findings: 2 per p-rule) plus one
+//! audited fn per rule, a capacity-witnessed negative, a `cold(fn)`
+//! boundary, and a p3 invariant-vs-varying pair. The `shard_*` entry
+//! calls `exec::run_sharded`, so the hot region is rooted in this file.
+//! Fixture input for the lint gate; never compiled.
+
+// Entry: every fn below is reached from here, so the hot region covers
+// the whole file except the cold(fn) boundary.
+pub fn shard_hot_probes(work: u64) -> u64 {
+    crate::exec::run_sharded(6);
+    alloc_per_probe(work);
+    audited_batcher(work);
+    witnessed_batcher(work);
+    cold_setup(work);
+    lookup_tree(work);
+    audited_tree_reader(work);
+    probe_loop_invariant(work, work);
+    emit_loop_invariant(work, work);
+    audited_recompute(work, work);
+    dispatch_probe(work);
+    dispatch_signature(work);
+    audited_dispatch(work);
+    fail_formatted(work);
+    reject_probe(work);
+    audited_reject(work);
+    work
+}
+
+// p1 (two findings): unwitnessed growth per probe — the constructor and
+// the push are each a fact.
+fn alloc_per_probe(work: u64) -> u64 {
+    let mut tags = Vec::new();
+    tags.push(work);
+    work
+}
+
+// Suppressed p1, fn form: the audit vouches the growth as amortized;
+// the facts stay visible in `hotpath --report`.
+// vp-lint: allow(p1): fixture of an audited amortized allocation.
+fn audited_batcher(work: u64) -> u64 {
+    let mut keep = Vec::new();
+    keep.push(work);
+    work
+}
+
+// No finding: the capacity witness turns the push into amortized growth.
+fn witnessed_batcher(work: u64) -> u64 {
+    let mut acc = Vec::with_capacity(8);
+    acc.push(work);
+    work
+}
+
+// cold(fn) boundary: reached from the entry but excluded from the
+// region, so its allocations never become findings.
+// vp-lint: cold(fn): fixture boundary — one-time setup behind the marker.
+fn cold_setup(work: u64) -> u64 {
+    let mut warmup = Vec::new();
+    warmup.push(work);
+    work
+}
+
+// p2 (two findings): ordered-map lookups on a BTreeMap-typed receiver.
+fn lookup_tree(work: u64) -> u64 {
+    let depths: BTreeMap<u64, u64> = BTreeMap::new(); // vp-lint: allow(p1): fixture isolating p2 — the construction is not under test.
+    depths.get(&work);
+    depths.contains_key(&work);
+    work
+}
+
+// Suppressed p2, fn form.
+// vp-lint: allow(p2): fixture of an audited ordered lookup — vouched cold, log-n map.
+fn audited_tree_reader(work: u64) -> u64 {
+    let sparse: BTreeMap<u64, u64> = BTreeMap::new(); // vp-lint: allow(p1): fixture isolating p2 — the construction is not under test.
+    sparse.get(&work);
+    work
+}
+
+// p3 (first finding) and the varying pair: `internet_checksum(seed)` is
+// invariant in the loop (finding); `internet_checksum(cursor)` mentions
+// the loop binding, so it varies (no finding).
+fn probe_loop_invariant(seed: u64, probes: u64) -> u64 {
+    for cursor in 0..probes {
+        internet_checksum(seed);
+        internet_checksum(cursor);
+    }
+    seed
+}
+
+// p3 (second finding): a helper-method recomputation under a while loop
+// whose only binding is the counter.
+fn emit_loop_invariant(seed: u64, probes: u64) -> u64 {
+    let mut sent = 0;
+    while sent < probes {
+        header.emit(seed);
+        sent = sent + 1;
+    }
+    seed
+}
+
+// Suppressed p3, fn form: the recomputation is vouched cheap.
+// vp-lint: allow(p3): fixture of an audited recomputation — amortized by the part sizes on this path.
+fn audited_recompute(seed: u64, probes: u64) -> u64 {
+    for cursor in 0..probes {
+        internet_checksum_parts(seed);
+    }
+    seed
+}
+
+// p4 (two findings): one `dyn` in a body type, one in a signature.
+fn dispatch_probe(work: u64) -> u64 {
+    let sink: Box<dyn Encode> = encoder_box(work);
+    drop(sink);
+    work
+}
+
+fn dispatch_signature(enc: &dyn Encode, work: u64) -> u64 {
+    work
+}
+
+// Suppressed p4, fn form.
+// vp-lint: allow(p4): fixture of an audited dispatch — one virtual call per shard, vouched.
+fn audited_dispatch(work: u64) -> u64 {
+    let gate: Box<dyn Encode> = encoder_box(work);
+    drop(gate);
+    work
+}
+
+// p5 (two findings): a formatted panic message and an `Err(format!(..))`.
+fn fail_formatted(work: u64) -> u64 {
+    if work == 0 {
+        panic!("probe {} underflow", work); // vp-lint: allow(g1): fixture isolating p5 — panic reachability is not under test.
+    }
+    work
+}
+
+fn reject_probe(work: u64) -> u64 {
+    if work == 0 {
+        return Err(format!("probe {} rejected", work));
+    }
+    work
+}
+
+// Suppressed p5, fn form.
+// vp-lint: allow(p5): fixture of an audited cold-error path — vouched never taken per probe.
+fn audited_reject(work: u64) -> u64 {
+    if work == 0 {
+        return Err(format!("audited probe {} rejected", work));
+    }
+    work
+}

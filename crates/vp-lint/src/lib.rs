@@ -19,7 +19,14 @@
 //!   computed from the same call graph, then checked for shared mutable
 //!   state (c1), lock-order cycles (c2), blocking under a live guard
 //!   (c3) and arrival-order result folds (c4); c5 (a token rule) confines
-//!   `thread::spawn`/`scope` to the blessed executor module itself.
+//!   `thread::spawn`/`scope` to the blessed executor module itself;
+//! * **hot-path cost rules** ([`prules`]): the *hot region* — every fn
+//!   reachable from the scan inner loops (prober walk, engine phases,
+//!   executor entries), minus `cold(fn)`-annotated setup/teardown — must
+//!   be free of per-probe heap allocation (p1), ordered-map lookups
+//!   where a dense column exists (p2), loop-invariant encode/checksum
+//!   recomputation (p3), dynamic dispatch (p4) and per-probe
+//!   error-message construction (p5).
 //!
 //! Ships three ways: the `cargo run -p vp-lint` CLI, the tier-1
 //! `tests/lint_gate.rs` integration test that fails the build on any
@@ -34,11 +41,14 @@ pub mod graph;
 pub mod grules;
 pub mod index;
 pub mod lexer;
+pub mod prules;
 pub mod rules;
 pub mod workspace;
 
 pub use rules::{FileContext, Finding, RuleId};
-pub use workspace::{build_graph, find_workspace_root, scan_files, scan_workspace};
+pub use workspace::{
+    build_graph, find_workspace_root, scan_files, scan_files_timed, scan_workspace, PassTimes,
+};
 
 /// Renders findings as `file:line:col: rule: message` lines.
 pub fn to_text(findings: &[Finding]) -> String {
@@ -91,6 +101,53 @@ pub fn to_json(findings: &[Finding]) -> String {
     }
     out.push_str("]\n");
     out
+}
+
+/// Renders findings plus per-rule wall time as one JSON object:
+/// `{"findings": [...], "rule_times_ms": [{"rule","pass","ms"}, ...]}`.
+/// Rules are attributed the wall time of the analysis pass that evaluates
+/// them, so a budget blowup in `scripts/check.sh` names a rule (family)
+/// instead of "the lint got slow".
+pub fn to_json_timed(findings: &[Finding], times: &PassTimes) -> String {
+    let mut out = String::from("{\"findings\":");
+    let body = to_json(findings);
+    out.push_str(body.trim_end());
+    out.push_str(",\"rule_times_ms\":[");
+    let ms_of = |pass: &str| -> u128 {
+        times
+            .iter()
+            .find(|(p, _)| *p == pass)
+            .map(|(_, ms)| *ms)
+            .unwrap_or(0)
+    };
+    for (i, rule) in RuleId::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let pass = pass_of(*rule);
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"pass\":\"{}\",\"ms\":{}}}",
+            rule.name(),
+            pass,
+            ms_of(pass)
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// The analysis pass that evaluates each rule (see
+/// [`workspace::scan_files_timed`]'s pass names).
+fn pass_of(rule: RuleId) -> &'static str {
+    match rule {
+        RuleId::G1 | RuleId::G2 => "grules",
+        RuleId::G3 => "g3",
+        RuleId::C1 | RuleId::C2 | RuleId::C3 | RuleId::C4 => "crules",
+        RuleId::P1 | RuleId::P2 | RuleId::P3 | RuleId::P4 | RuleId::P5 => "prules",
+        // Token rules (d*, h*, c5, o1, directive) are all evaluated in the
+        // per-file token pass.
+        _ => "token",
+    }
 }
 
 fn json_string(s: &str) -> String {

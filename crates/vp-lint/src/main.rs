@@ -4,6 +4,7 @@
 //! cargo run -p vp-lint -- --workspace [--format text|json]
 //! cargo run -p vp-lint -- [--root DIR] [--format text|json] PATH...
 //! cargo run -p vp-lint -- graph [--dot] [--root DIR]
+//! cargo run -p vp-lint -- hotpath [--report] [--dot] [--root DIR]
 //! cargo run -p vp-lint -- bench [--reps N] [--budget-ms M | --budget-per-rule-ms M] [--root DIR]
 //! ```
 //!
@@ -21,6 +22,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("graph") => run_graph(&args[1..]),
+        Some("hotpath") => run_hotpath(&args[1..]),
         Some("bench") => run_bench(&args[1..]),
         _ => run(&args),
     };
@@ -65,6 +67,43 @@ fn run_graph(args: &[String]) -> Result<ExitCode, String> {
     use std::io::Write;
     let _ = std::io::stdout().write_all(out.as_bytes());
     Ok(ExitCode::SUCCESS)
+}
+
+/// `vp-lint hotpath [--report] [--dot] [--root DIR]` — the hot-region
+/// analysis on its own: p1–p5 findings (exit 1 when any fire), with
+/// `--report` the region roster + per-fn fact table, with `--dot` the
+/// hot subgraph in Graphviz form.
+fn run_hotpath(args: &[String]) -> Result<ExitCode, String> {
+    let mut report = false;
+    let mut dot = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--report" => report = true,
+            "--dot" => dot = true,
+            "--root" => root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?)),
+            other => return Err(format!("unknown hotpath flag `{other}`")),
+        }
+    }
+    let root = resolve_root(root)?;
+    let g = vp_lint::build_graph(&root).map_err(|e| format!("hotpath: {e}"))?;
+    use std::io::Write;
+    if dot {
+        // Ignore EPIPE, exactly like `graph --dot | head`.
+        let _ = std::io::stdout().write_all(vp_lint::prules::to_dot(&g).as_bytes());
+        return Ok(ExitCode::SUCCESS);
+    }
+    if report {
+        let _ = std::io::stdout().write_all(vp_lint::prules::report(&g).as_bytes());
+    }
+    let (findings, _) = vp_lint::prules::evaluate(&g);
+    print!("{}", vp_lint::to_text(&findings));
+    Ok(if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 /// `vp-lint bench [--reps N] [--budget-ms M | --budget-per-rule-ms M]
@@ -160,6 +199,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                      USAGE:\n  vp-lint --workspace [--root DIR] [--format text|json]\n  \
                      vp-lint [--root DIR] [--format text|json] PATH...\n  \
                      vp-lint graph [--dot] [--root DIR]\n  \
+                     vp-lint hotpath [--report] [--dot] [--root DIR]\n  \
                      vp-lint bench [--reps N] [--budget-ms M | --budget-per-rule-ms M] [--root DIR]\n\n\
                      Token rules: d1 hash-order, d2 ambient entropy, d3 merge-tested,\n\
                      d4 wall-time Clock impls outside binaries/vp-bench,\n\
@@ -172,7 +212,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                      blessed executor): c1 shared mutable state, c2 lock-order\n\
                      cycles, c3 blocking under a live guard, c4 arrival-order\n\
                      result folds.\n\
-                     Suppress with `// vp-lint: allow(<rule>): <justification>`."
+                     Hot-path rules (over the hot region rooted at the scan inner\n\
+                     loops, minus cold(fn) setup/teardown): p1 per-probe heap\n\
+                     allocation, p2 ordered-map lookups, p3 loop-invariant\n\
+                     encode/checksum calls, p4 dynamic dispatch, p5 per-probe\n\
+                     error construction.\n\
+                     Suppress with `// vp-lint: allow(<rule>): <justification>`;\n\
+                     mark setup/teardown with `// vp-lint: cold(fn): <why>`."
                 );
                 return Ok(ExitCode::SUCCESS);
             }
@@ -203,10 +249,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
     .map_err(|e| format!("walking {}: {e}", root.display()))?;
 
-    let findings = vp_lint::scan_files(&root, &files).map_err(|e| format!("scan: {e}"))?;
+    // vp-lint: allow(d2): the clock only annotates JSON pass timings; findings never depend on it.
+    let started = Instant::now();
+    let clock = move || started.elapsed().as_millis();
+    let (findings, times) =
+        vp_lint::scan_files_timed(&root, &files, &clock).map_err(|e| format!("scan: {e}"))?;
 
     match format.as_str() {
-        "json" => print!("{}", vp_lint::to_json(&findings)),
+        "json" => print!("{}", vp_lint::to_json_timed(&findings, &times)),
         _ => print!("{}", vp_lint::to_text(&findings)),
     }
 

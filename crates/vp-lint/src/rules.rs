@@ -14,7 +14,12 @@
 //!
 //! c1–c4 (the rest of the concurrency-safety layer) are interprocedural
 //! and live in [`crate::crules`]; c5 is token-level, like d4, because
-//! "who spawns" is a per-file fact that needs no graph.
+//! "who spawns" is a per-file fact that needs no graph. p1–p5 (the
+//! hot-path cost rules) are interprocedural too and live in
+//! [`crate::prules`]: they police the *hot region* — everything
+//! reachable from the scan inner loops — for per-probe heap allocation
+//! (p1), per-probe map lookups (p2), loop-invariant recomputation (p3),
+//! dynamic dispatch (p4) and per-probe error/string construction (p5).
 //!
 //! Matching happens on masked tokens (see [`crate::lexer`]), so literals
 //! and comments can never trigger a rule. Test scope — files under
@@ -42,6 +47,11 @@ pub enum RuleId {
     C4,
     C5,
     O1,
+    P1,
+    P2,
+    P3,
+    P4,
+    P5,
     Directive,
 }
 
@@ -50,7 +60,7 @@ impl RuleId {
     /// table is what `vp-lint bench --budget-per-rule-ms` scales by, so a
     /// new rule automatically widens the CI budget instead of silently
     /// eating the old one.
-    pub const ALL: [RuleId; 16] = [
+    pub const ALL: [RuleId; 21] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
@@ -66,6 +76,11 @@ impl RuleId {
         RuleId::C4,
         RuleId::C5,
         RuleId::O1,
+        RuleId::P1,
+        RuleId::P2,
+        RuleId::P3,
+        RuleId::P4,
+        RuleId::P5,
         RuleId::Directive,
     ];
 
@@ -86,6 +101,11 @@ impl RuleId {
             RuleId::C4 => "c4",
             RuleId::C5 => "c5",
             RuleId::O1 => "o1",
+            RuleId::P1 => "p1",
+            RuleId::P2 => "p2",
+            RuleId::P3 => "p3",
+            RuleId::P4 => "p4",
+            RuleId::P5 => "p5",
             RuleId::Directive => "directive",
         }
     }
@@ -107,6 +127,11 @@ impl RuleId {
             "c4" => Some(RuleId::C4),
             "c5" => Some(RuleId::C5),
             "o1" => Some(RuleId::O1),
+            "p1" => Some(RuleId::P1),
+            "p2" => Some(RuleId::P2),
+            "p3" => Some(RuleId::P3),
+            "p4" => Some(RuleId::P4),
+            "p5" => Some(RuleId::P5),
             "directive" => Some(RuleId::Directive),
             _ => None,
         }

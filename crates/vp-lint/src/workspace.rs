@@ -18,7 +18,14 @@ use crate::graph::{CrateDeps, Graph};
 use crate::grules::{self, Visibility};
 use crate::index::{self, FileIndex};
 use crate::lexer;
+use crate::prules;
 use crate::rules::{self, FileContext, Finding, RuleId};
+
+/// Wall-time per analysis pass, in milliseconds: `(pass name, ms)`. The
+/// clock is injected by the caller (the CLI uses a real one behind an
+/// `allow(d2)`; the library default is a null clock reporting zeros) so
+/// the library itself stays deterministic.
+pub type PassTimes = Vec<(&'static str, u128)>;
 
 /// Directory names never scanned: third-party stand-ins (`vendor` mirrors
 /// upstream crates, not our determinism surface), build products, data, and
@@ -174,9 +181,22 @@ pub fn build_graph(root: &Path) -> io::Result<Graph> {
 }
 
 /// Scans a set of files as one workspace rooted at `root`: token rules
-/// per file, d3 across files, g1/g2 and c1–c4 over the call graph, then
-/// g3 over the allow directives. Findings come back sorted.
+/// per file, d3 across files, g1/g2, c1–c4 and p1–p5 over the call
+/// graph, then g3 over the allow directives. Findings come back sorted.
 pub fn scan_files(root: &Path, files: &[PathBuf]) -> io::Result<Vec<Finding>> {
+    scan_files_timed(root, files, &|| 0).map(|(findings, _)| findings)
+}
+
+/// [`scan_files`] with an injected millisecond clock: also returns the
+/// wall time each analysis pass took, so the bench budget gate can
+/// attribute a blowup to a rule instead of to "the lint".
+pub fn scan_files_timed(
+    root: &Path,
+    files: &[PathBuf],
+    clock: &dyn Fn() -> u128,
+) -> io::Result<(Vec<Finding>, PassTimes)> {
+    let mut times: PassTimes = Vec::new();
+    let t0 = clock();
     let mut findings = Vec::new();
     let mut merge_defs = Vec::new();
     let mut markers: Vec<rules::MarkerSite> = Vec::new();
@@ -229,20 +249,37 @@ pub fn scan_files(root: &Path, files: &[PathBuf]) -> io::Result<Vec<Finding>> {
     for (file, line) in d3_used {
         used.insert((file, line, RuleId::D3));
     }
+    let t1 = clock();
+    times.push(("token", t1 - t0));
 
     let graph = Graph::build(&indexes, &crate_deps(root));
+    let t2 = clock();
+    times.push(("graph", t2 - t1));
+
     let vis = visibility_of(&indexes);
     let (g_findings, g_used) = grules::evaluate(&graph, &vis);
     findings.extend(g_findings);
     for (file, line, rule) in g_used {
         used.insert((file, line, rule));
     }
+    let t3 = clock();
+    times.push(("grules", t3 - t2));
 
     let (c_findings, c_used) = crules::evaluate(&graph, &indexes);
     findings.extend(c_findings);
     for (file, line, rule) in c_used {
         used.insert((file, line, rule));
     }
+    let t4 = clock();
+    times.push(("crules", t4 - t3));
+
+    let (p_findings, p_used) = prules::evaluate(&graph);
+    findings.extend(p_findings);
+    for (file, line, rule) in p_used {
+        used.insert((file, line, rule));
+    }
+    let t5 = clock();
+    times.push(("prules", t5 - t4));
 
     // g3 — a directive is live iff at least one of its rules suppressed
     // something on its target line. Stale allows are unsuppressible
@@ -274,7 +311,8 @@ pub fn scan_files(root: &Path, files: &[PathBuf]) -> io::Result<Vec<Finding>> {
     findings.sort_by(|a, b| {
         (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
     });
-    Ok(findings)
+    times.push(("g3", clock() - t5));
+    Ok((findings, times))
 }
 
 /// Scans every `.rs` file of the workspace at `root`.

@@ -46,10 +46,12 @@ impl<T> Default for PrefixTrie<T> {
 impl<T> PrefixTrie<T> {
     /// Creates an empty trie.
     pub fn new() -> Self {
-        PrefixTrie {
-            nodes: vec![Node::new()],
-            len: 0,
-        }
+        // Pre-size the arena: inserting one prefix touches at most 32
+        // fresh nodes, so a small seed capacity absorbs the first inserts
+        // without regrowth.
+        let mut nodes = Vec::with_capacity(64);
+        nodes.push(Node::new());
+        PrefixTrie { nodes, len: 0 }
     }
 
     /// Number of prefixes stored.
@@ -133,8 +135,11 @@ impl<T> PrefixTrie<T> {
     /// Iterates all stored `(prefix, value)` pairs in trie (address) order.
     // vp-lint: allow(g1): arena indexing — child indices are minted by push and nodes never shrink, so every stored index is in bounds.
     pub fn iter(&self) -> impl Iterator<Item = (Prefix, &T)> {
-        // Explicit DFS stack: (node index, addr-so-far, depth).
-        let mut stack = vec![(0u32, 0u32, 0u8)];
+        // Explicit DFS stack: (node index, addr-so-far, depth). Depth is
+        // at most 32 and each visited node pushes at most two children,
+        // so 64 slots absorb any real trie without regrowth.
+        let mut stack = Vec::with_capacity(64);
+        stack.push((0u32, 0u32, 0u8));
         std::iter::from_fn(move || {
             while let Some((node, addr, depth)) = stack.pop() {
                 let n = &self.nodes[node as usize];

@@ -5,6 +5,8 @@
 //! routing table ([`StaticOracle`]) or one with per-round instability
 //! ([`FlippingOracle`], used for the Fig. 9 / Table 7 stability study).
 
+use std::sync::Arc;
+
 use vp_bgp::{FlipModel, RoutingTable, SiteId};
 use vp_net::{SimDuration, SimTime};
 use vp_topology::blocks::BlockInfo;
@@ -17,13 +19,26 @@ pub trait CatchmentOracle {
 }
 
 /// A time-invariant oracle over a converged routing table.
+///
+/// The table is held behind an [`Arc`] so that the sharded scan path can
+/// hand every shard its own boxed oracle while sharing one converged
+/// table: [`StaticOracle::shared`] costs a refcount bump where a deep
+/// table clone costs thousands of allocations (the §17 allocation
+/// witness counts shard setup against the scan's budget).
 #[derive(Debug, Clone)]
 pub struct StaticOracle {
-    table: RoutingTable,
+    table: Arc<RoutingTable>,
 }
 
 impl StaticOracle {
     pub fn new(table: RoutingTable) -> Self {
+        StaticOracle {
+            table: Arc::new(table),
+        }
+    }
+
+    /// Builds an oracle over an already-shared table without copying it.
+    pub fn shared(table: Arc<RoutingTable>) -> Self {
         StaticOracle { table }
     }
 

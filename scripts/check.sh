@@ -14,6 +14,14 @@ cargo build --release
 cargo test -q
 cargo run -q -p vp-lint -- --workspace
 
+# Hot-path cost certification (DESIGN.md §17): the hot-region report must
+# render (a scan with zero p-findings still lists the certified regions),
+# and the allocation witness must hold its release-mode budget — the
+# debug run above exercises the same scans but measures the reply-image
+# debug-asserts, so only the release run binds.
+cargo run -q --release -p vp-lint -- hotpath --report | grep "^hot region:" >/dev/null
+cargo test -q --release --test alloc_witness
+
 # The columnar/BTree scale-equivalence suite is the proof that the
 # columnar scan core is unobservable from the outside; run it by name so
 # a test-filter change can never silently drop it from the gate.
@@ -23,7 +31,7 @@ cargo test -q --test columnar_equivalence
 # least one edge), and a full scan must stay inside the tier-1 wall-time
 # budget so the lint_gate test never becomes the slow step. The budget is
 # per-rule so adding a rule grows the allowance instead of silently
-# eating the remaining headroom of a hard constant (16 rules ≈ 2s today).
+# eating the remaining headroom of a hard constant (21 rules ≈ 3s today).
 cargo run -q --release -p vp-lint -- graph --dot | head -n 20 | grep -q "^digraph"
 cargo run -q --release -p vp-lint -- bench --reps 3 --budget-per-rule-ms 135
 
@@ -97,7 +105,7 @@ diff -u results/daemon/vp_daemon_scrape.prom "$daemon_dir/metrics.prom"
 # measured slower than the baseline machine (VP_HOST_FACTOR, permille).
 "$vp_monitor" check-bench --current BENCH_scan.json \
     --baseline results/monitor/bench_baseline.json \
-    --host-factor "${VP_HOST_FACTOR:-1000}"
+    --host-factor "${VP_HOST_FACTOR:-1300}"
 
 # Fresh threaded bench at the small scale: run the scan on real OS
 # threads (K>1 rows run twice: inline and threaded), cross-check
@@ -113,7 +121,7 @@ cargo run -q --release -p vp-bench --bin bench_scan -- \
     --flight "$bench_dir/flight_scan15k.json" >/dev/null
 "$vp_monitor" check-bench --current "$bench_dir/BENCH_scan.json" \
     --baseline results/monitor/bench_baseline.json \
-    --host-factor "${VP_HOST_FACTOR:-1000}"
+    --host-factor "${VP_HOST_FACTOR:-1300}"
 
 # The fresh flight document (written to $bench_dir — never over the
 # committed golden, which the flight_golden tests byte-compare) must

@@ -26,15 +26,17 @@ fn workspace_is_lint_clean() {
 /// `entropy` and `LeakyWallClock::now_nanos`), 3 malformed-directive
 /// findings in malformed.rs, 3 graph-rule findings in graphs.rs
 /// (the cross-file g1 chain, the taint-through-allowed-helper g2, and
-/// a stale-allow g3), and 10 concurrency findings in conc.rs (2 per
-/// c-rule, rooted in the fixture's blessed exec.rs).
+/// a stale-allow g3), 10 concurrency findings in conc.rs (2 per
+/// c-rule, rooted in the fixture's blessed exec.rs), and 10 hot-path
+/// findings in hot.rs (2 per p-rule, rooted at the `shard_hot_probes`
+/// region entry).
 #[test]
 fn analyzer_detects_seeded_fixture_violations() {
     let ws = repo_root().join("crates/vp-lint/fixtures/ws");
     let findings = vp_lint::scan_workspace(&ws).expect("scan fixture ws");
     assert_eq!(
         findings.len(),
-        39,
+        49,
         "fixture finding count drifted:\n{}",
         vp_lint::to_text(&findings)
     );
@@ -60,6 +62,11 @@ fn analyzer_detects_seeded_fixture_violations() {
     assert_eq!(count("c4"), 2);
     assert_eq!(count("c5"), 2);
     assert_eq!(count("o1"), 2);
+    assert_eq!(count("p1"), 2);
+    assert_eq!(count("p2"), 2);
+    assert_eq!(count("p3"), 2);
+    assert_eq!(count("p4"), 2);
+    assert_eq!(count("p5"), 2);
     // Everything seeded lives in the violation files; suppressed.rs,
     // depths.rs (only the deep end of a chain rooted elsewhere),
     // exec.rs (the blessed executor: c5-exempt, and only the region
@@ -70,7 +77,50 @@ fn analyzer_detects_seeded_fixture_violations() {
             || f.file.ends_with("malformed.rs")
             || f.file.ends_with("graphs.rs")
             || f.file.ends_with("conc.rs")
+            || f.file.ends_with("hot.rs")
     }));
+}
+
+/// The p1 witness runs from the hot-region root down to the allocation
+/// label, the capacity-witnessed twin stays silent, and the cold(fn)
+/// boundary keeps setup allocations out of the region entirely.
+#[test]
+fn fixture_p1_witness_names_alloc_and_root() {
+    let ws = repo_root().join("crates/vp-lint/fixtures/ws");
+    let findings = vp_lint::scan_workspace(&ws).expect("scan fixture ws");
+    let p1 = findings
+        .iter()
+        .find(|f| f.rule.name() == "p1" && f.message.contains("tags.push"))
+        .expect("seeded p1 push finding");
+    assert!(p1.witness.len() >= 3, "witness: {:?}", p1.witness);
+    assert!(p1.witness[0].contains("shard_hot_probes"), "rooted at the region entry");
+    assert!(p1.witness.last().expect("witness").contains("no capacity witness"));
+    // Same shape for the constructor fact.
+    assert!(findings
+        .iter()
+        .any(|f| f.rule.name() == "p1" && f.message.contains("Vec::new on `tags`")));
+    // The `with_capacity`-witnessed twin and the cold(fn) setup fn
+    // contribute nothing.
+    assert!(!findings.iter().any(|f| f.message.contains("acc.push")));
+    assert!(!findings.iter().any(|f| f.message.contains("warmup")));
+}
+
+/// p3 separates the invariant-vs-varying pair: both findings label a
+/// loop-invariant recomputation, and the call mentioning the loop
+/// binding never fires (the count above pins it at exactly 2).
+#[test]
+fn fixture_p3_flags_invariant_not_varying() {
+    let ws = repo_root().join("crates/vp-lint/fixtures/ws");
+    let findings = vp_lint::scan_workspace(&ws).expect("scan fixture ws");
+    let p3: Vec<_> = findings.iter().filter(|f| f.rule.name() == "p3").collect();
+    assert_eq!(p3.len(), 2, "p3: {:?}", p3);
+    assert!(p3
+        .iter()
+        .any(|f| f.message.contains("internet_checksum(..) recomputed per iteration")));
+    assert!(p3.iter().all(|f| f.message.contains("loop-invariant")));
+    assert!(p3
+        .iter()
+        .all(|f| f.witness[0].contains("shard_hot_probes")), "rooted at the region entry");
 }
 
 /// The seeded c1 chain is reported at the region entry with a witness

@@ -8,62 +8,92 @@ use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
-/// A cheaply clonable immutable byte buffer (shared via `Arc`).
-#[derive(Clone, Default)]
+/// A cheaply clonable immutable byte buffer: a refcounted view
+/// (`Arc` + offset/length) into a shared backing allocation, so both
+/// `clone` and `slice` are refcount bumps, never copies. That matches
+/// the real crate's semantics and is what lets a batch encoder hand out
+/// per-message views of one frozen buffer without allocating per
+/// message.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
 }
 
 impl Bytes {
+    fn from_vec(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes { data: Arc::new(v), off: 0, len }
+    }
+
     /// An empty buffer.
     pub fn new() -> Bytes {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes::from_vec(Vec::new())
     }
 
     /// A buffer borrowing from a static slice (copied here; semantics match).
     pub fn from_static(s: &'static [u8]) -> Bytes {
-        Bytes { data: Arc::from(s) }
+        Bytes::from_vec(s.to_vec())
     }
 
     /// A buffer holding a copy of `s`.
     pub fn copy_from_slice(s: &[u8]) -> Bytes {
-        Bytes { data: Arc::from(s) }
+        Bytes::from_vec(s.to_vec())
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
-    /// A new buffer over the given subrange.
+    /// A zero-copy view of the given subrange: shares the backing
+    /// allocation with `self` instead of copying it.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        Bytes { data: Arc::from(&self.data[range]) }
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice {}..{} out of bounds of {}",
+            range.start,
+            range.end,
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off + range.start,
+            len: range.end - range.start,
+        }
     }
 
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self[..].to_vec()
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.off..self.off + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes { data: Arc::from(v.into_boxed_slice()) }
+        Bytes::from_vec(v)
     }
 }
 
@@ -244,5 +274,22 @@ mod tests {
         let b = Bytes::from_static(b"hello");
         assert_eq!(b.slice(1..3), &b"el"[..]);
         assert_eq!(format!("{b:?}"), "b\"hello\"");
+    }
+
+    #[test]
+    fn slice_shares_backing_allocation() {
+        let b = Bytes::from_static(b"abcdef");
+        let s = b.slice(2..5);
+        assert_eq!(s, &b"cde"[..]);
+        assert!(Arc::ptr_eq(&b.data, &s.data), "slice must not copy");
+        let ss = s.slice(1..2);
+        assert_eq!(ss, &b"d"[..]);
+        assert!(Arc::ptr_eq(&b.data, &ss.data), "nested slice must not copy");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from_static(b"ab").slice(1..4);
     }
 }
